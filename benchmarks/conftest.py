@@ -1,0 +1,32 @@
+"""Shared benchmark helpers.
+
+Every experiment writes its result table to ``benchmarks/results/<exp>.txt``
+so the numbers survive the pytest run (EXPERIMENTS.md references them),
+and prints it as well (visible with ``pytest -s``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def report(results_dir):
+    """Write (and echo) an experiment's result table."""
+
+    def _write(name: str, lines: list[str]) -> None:
+        text = "\n".join(lines) + "\n"
+        (results_dir / f"{name}.txt").write_text(text)
+        print(f"\n=== {name} ===\n{text}")
+
+    return _write

@@ -1,0 +1,79 @@
+"""EXP-11 — optimizer scalability across strategies (Section 7.1/7.2).
+
+The trade-off the paper designs for: "the main trade-offs amongst these
+strategies is between efficiency (i.e., time complexity) and
+flexibility", and the motivating observation that exhaustive systems
+"must limit the queries to no more than 10 or 15 joins".
+
+Measured: permutations costed per strategy as the conjunct grows, and
+the quality each strategy retains where the optimum is still computable.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.cost import BodyEstimator
+from repro.optimizer import (
+    AnnealingSchedule,
+    annealing_order,
+    dp_order,
+    exhaustive_order,
+    kbz_order,
+)
+from repro.workloads import generate_conjunctive
+
+
+def test_exp11_evaluations_vs_size(benchmark, report):
+    lines = [
+        "EXP-11: permutations costed per strategy (random-shape workloads)",
+        f"  {'n':>3}  {'exhaustive':>11}  {'dp':>7}  {'kbz':>5}  {'annealing':>9}",
+    ]
+    quality: dict[str, list[float]] = {"dp": [], "kbz": [], "annealing": []}
+    for n in (5, 7, 9, 12, 16):
+        workload = generate_conjunctive(n, "random", seed=5000 + n)
+        estimator = BodyEstimator(workload.stats)
+        kbz = kbz_order(workload.body, frozenset(), estimator)
+        sa = annealing_order(
+            workload.body, frozenset(), estimator,
+            rng=random.Random(n),
+            schedule=AnnealingSchedule(max_evaluations=600),
+        )
+        if n <= 7:
+            exact = exhaustive_order(workload.body, frozenset(), estimator)
+            dp = dp_order(workload.body, frozenset(), estimator)
+            exact_evals: str | int = exact.evaluations
+            dp_evals: str | int = dp.evaluations
+            quality["dp"].append(dp.est.cost / exact.est.cost)
+            quality["kbz"].append(kbz.est.cost / exact.est.cost)
+            quality["annealing"].append(sa.est.cost / exact.est.cost)
+        else:
+            exact_evals = f"~{math.factorial(n):.0e}"
+            dp_evals = "-" if n > 12 else dp_order(workload.body, frozenset(), estimator).evaluations
+        lines.append(
+            f"  {n:>3}  {exact_evals!s:>11}  {dp_evals!s:>7}  {kbz.evaluations:>5}  {sa.evaluations:>9}"
+        )
+        # the quadratic strategy keeps its budget polynomial at any size
+        assert kbz.evaluations <= n * n + n
+        assert not kbz.est.is_infinite and not sa.est.is_infinite
+
+    lines.append(
+        "  quality at n<=7 (ratio to optimum): "
+        + ", ".join(f"{k}={max(v):.2f} worst" for k, v in quality.items())
+    )
+    report("exp11_scalability", lines)
+    assert max(quality["dp"]) <= 1.0 + 1e-9  # DP is exact
+
+    workload = generate_conjunctive(16, "random", seed=77)
+    estimator = BodyEstimator(workload.stats)
+    benchmark(lambda: kbz_order(workload.body, frozenset(), estimator))
+
+
+def test_exp11_kbz_wall_time_at_twenty(benchmark):
+    """A 20-literal conjunct — far beyond any exhaustive system — still
+    orders in interactive time under the quadratic strategy."""
+    workload = generate_conjunctive(20, "random", seed=99)
+    estimator = BodyEstimator(workload.stats)
+    result = benchmark(lambda: kbz_order(workload.body, frozenset(), estimator))
+    assert not result.est.is_infinite

@@ -1,0 +1,88 @@
+"""EXP-1 — Quality of the KBZ quadratic strategy (Section 7.1, [Vil 87]).
+
+Paper claim: "the quadratic algorithm chooses the optimal permutation in
+most cases and in more than 90% of the cases, it produces no worse than
+twice/thrice the optimal", measured on randomly picked queries and
+database states.
+
+Reproduction: sample seeded random conjunctive workloads across query
+shapes, order each with the exhaustive reference and with KBZ, and report
+the ratio distribution plus the evaluation counts (the efficiency side of
+the trade-off).
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.cost import BodyEstimator
+from repro.optimizer import exhaustive_order, kbz_order
+from repro.workloads import generate_conjunctive
+
+N_LITERALS = 6
+SAMPLES = 48
+SHAPES = ("chain", "star", "cycle", "random")
+
+
+def _collect():
+    rows = []
+    for index in range(SAMPLES):
+        shape = SHAPES[index % len(SHAPES)]
+        workload = generate_conjunctive(N_LITERALS, shape, seed=1000 + index)
+        estimator = BodyEstimator(workload.stats)
+        exact = exhaustive_order(workload.body, frozenset(), estimator)
+        quick = kbz_order(workload.body, frozenset(), estimator)
+        rows.append(
+            {
+                "shape": shape,
+                "ratio": quick.est.cost / exact.est.cost,
+                "exact_evals": exact.evaluations,
+                "kbz_evals": quick.evaluations,
+            }
+        )
+    return rows
+
+
+def test_exp1_kbz_quality(benchmark, report):
+    rows = _collect()
+    ratios = [r["ratio"] for r in rows]
+
+    optimal = sum(r <= 1.0 + 1e-9 for r in ratios) / len(ratios)
+    within2 = sum(r <= 2.0 for r in ratios) / len(ratios)
+    within3 = sum(r <= 3.0 for r in ratios) / len(ratios)
+
+    lines = [
+        f"EXP-1: KBZ vs exhaustive on {SAMPLES} random workloads "
+        f"(n={N_LITERALS}, shapes={'/'.join(SHAPES)})",
+        f"  optimal        : {optimal:6.1%}   (paper: 'in most cases')",
+        f"  within 2x      : {within2:6.1%}   (paper: >90% within 2-3x)",
+        f"  within 3x      : {within3:6.1%}",
+        f"  median ratio   : {statistics.median(ratios):.3f}",
+        f"  worst ratio    : {max(ratios):.2f}",
+        f"  mean evaluations: kbz={statistics.mean(r['kbz_evals'] for r in rows):.0f} "
+        f"vs exhaustive={statistics.mean(r['exact_evals'] for r in rows):.0f}",
+    ]
+    report("exp1_kbz_quality", lines)
+
+    # the paper's shape: mostly optimal, >=90% within 3x, never better than optimal
+    assert optimal >= 0.5
+    assert within3 >= 0.9
+    assert min(ratios) >= 1.0 - 1e-9
+    # efficiency: orders of magnitude fewer evaluations
+    assert statistics.mean(r["kbz_evals"] for r in rows) < 0.1 * statistics.mean(
+        r["exact_evals"] for r in rows
+    )
+
+    # timed unit: one KBZ ordering on a fresh workload
+    workload = generate_conjunctive(N_LITERALS, "random", seed=99)
+    estimator = BodyEstimator(workload.stats)
+    benchmark(lambda: kbz_order(workload.body, frozenset(), estimator))
+
+
+def test_exp1_exhaustive_reference_timing(benchmark):
+    """The exhaustive baseline's cost, for the efficiency comparison."""
+    workload = generate_conjunctive(N_LITERALS, "random", seed=99)
+    estimator = BodyEstimator(workload.stats)
+    benchmark(lambda: exhaustive_order(workload.body, frozenset(), estimator))

@@ -1,0 +1,89 @@
+"""EXP-9 (scaling) — asymptotics of the recursive methods.
+
+The complexity folklore the paper's method choice rests on, measured:
+on an N-edge chain with a source-bound ancestor query,
+
+* the materialized semi-naive fixpoint computes all O(N²) ancestor pairs
+  — work grows ~quadratically;
+* the counting execution touches each edge O(1) times — work grows
+  ~linearly;
+
+so the gap between them widens with N, which is exactly why a cost-based
+choice (rather than a fixed strategy) matters as data grows.
+"""
+
+from __future__ import annotations
+
+from repro import KnowledgeBase, OptimizerConfig
+from repro.engine import Profiler
+
+ANC = "anc(X, Y) <- par(X, Y). anc(X, Y) <- par(X, Z), anc(Z, Y)."
+SIZES = (50, 100, 200, 400)
+
+
+def work_for(method: str, n: int) -> int:
+    kb = KnowledgeBase(OptimizerConfig(recursive_methods=(method,)))
+    kb.rules(ANC)
+    kb.facts("par", [(f"n{i}", f"n{i+1}") for i in range(n)])
+    profiler = Profiler()
+    answers = kb.ask("anc($X, Y)?", X="n0", profiler=profiler)
+    assert len(answers) == n
+    return profiler.total_work
+
+
+def test_exp9_chain_scaling(benchmark, report):
+    rows = {
+        n: {m: work_for(m, n) for m in ("seminaive", "counting", "magic")}
+        for n in SIZES
+    }
+    lines = [
+        "EXP-9: measured work vs chain length (anc($X, Y)?, X = chain head)",
+        f"  {'N':>5}  {'seminaive':>10}  {'magic':>8}  {'counting':>9}",
+    ]
+    for n in SIZES:
+        lines.append(
+            f"  {n:>5}  {rows[n]['seminaive']:>10}  {rows[n]['magic']:>8}  {rows[n]['counting']:>9}"
+        )
+    semi_growth = rows[SIZES[-1]]["seminaive"] / rows[SIZES[0]]["seminaive"]
+    count_growth = rows[SIZES[-1]]["counting"] / rows[SIZES[0]]["counting"]
+    scale = SIZES[-1] / SIZES[0]
+    lines.append(
+        f"  growth {SIZES[0]}→{SIZES[-1]} (x{scale:.0f} data): "
+        f"seminaive x{semi_growth:.1f}, counting x{count_growth:.1f}"
+    )
+    report("exp9_scaling", lines)
+
+    # shape: semi-naive superlinear (→ ~x64 for quadratic at x8 data),
+    # counting near-linear, and the gap widens monotonically
+    assert semi_growth > count_growth * 2
+    for small, large in zip(SIZES, SIZES[1:]):
+        gap_small = rows[small]["seminaive"] / rows[small]["counting"]
+        gap_large = rows[large]["seminaive"] / rows[large]["counting"]
+        assert gap_large > gap_small
+
+    benchmark(lambda: work_for("counting", 200))
+
+
+def test_exp9_optimizer_tracks_the_winner(benchmark, report):
+    """At every size the default optimizer's choice is within 2x of the
+    best individual method — the point of cost-based selection."""
+    lines = ["EXP-9b: optimizer choice vs best method", f"  {'N':>5}  {'chosen':>10}  {'work':>8}  {'best':>10}"]
+    for n in (100, 400):
+        best = min(("seminaive", "magic", "counting"), key=lambda m: work_for(m, n))
+        best_work = work_for(best, n)
+        kb = KnowledgeBase()
+        kb.rules(ANC)
+        kb.facts("par", [(f"n{i}", f"n{i+1}") for i in range(n)])
+        profiler = Profiler()
+        kb.ask("anc($X, Y)?", X="n0", profiler=profiler)
+        compiled = kb.compile("anc($X, Y)?")
+        chosen = compiled.plan.children[0].steps[0].child.method
+        lines.append(f"  {n:>5}  {chosen:>10}  {profiler.total_work:>8}  {best}={best_work}")
+        assert profiler.total_work <= 2 * best_work
+    report("exp9b_choice", lines)
+
+    kb = KnowledgeBase()
+    kb.rules(ANC)
+    kb.facts("par", [(f"n{i}", f"n{i+1}") for i in range(100)])
+    kb.ask("anc($X, Y)?", X="n0")
+    benchmark(lambda: kb.ask("anc($X, Y)?", X="n0", profiler=Profiler()))

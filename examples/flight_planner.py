@@ -1,0 +1,90 @@
+"""Flight planning: recursion with arithmetic, guards, and the safety analysis.
+
+Two versions of cost-bounded reachability over a cyclic route map:
+
+* an **unsafe** one — recursion on an ever-growing cost with only an
+  upper-bound guard.  No sufficient condition certifies termination, and
+  the optimizer rejects it *at compile time* with diagnostics pointing at
+  the offending goals (Section 8.3: the compile-time approach can
+  "pinpoint the source of safety problems to the user — a very desirable
+  feature, since unsafe programs are typically incorrect ones");
+* a **safe** one — the same query with a descending hop counter, which
+  the integer-descent well-founded order certifies.  The optimizer then
+  compiles a sideways (magic) execution seeded by origin and hop budget.
+
+Run:  python examples/flight_planner.py
+"""
+
+from repro import KnowledgeBase, UnsafeQueryError
+from repro.engine import Profiler
+
+FLIGHTS = [
+    ("aus", "dfw", 120), ("dfw", "aus", 120),
+    ("aus", "hou", 90), ("hou", "aus", 90),
+    ("dfw", "jfk", 320), ("jfk", "dfw", 320),
+    ("dfw", "lax", 280), ("lax", "sfo", 90),
+    ("hou", "mia", 210), ("mia", "jfk", 260),
+    ("jfk", "bos", 110),
+]
+
+
+def unsafe_version() -> None:
+    kb = KnowledgeBase()
+    kb.rules(
+        """
+        trip(A, B, C) <- flight(A, B, C), C <= 800.
+        trip(A, B, C) <- trip(A, M, C1), flight(M, B, C2),
+                         C = C1 + C2, C <= 800.
+        """
+    )
+    kb.facts("flight", FLIGHTS)
+    print("— the budget-only version —")
+    try:
+        kb.ask("trip($A, B, C)?", A="aus")
+    except UnsafeQueryError as err:
+        print("rejected at compile time: no certified termination order.")
+        print("first diagnostics:")
+        for reason in err.reasons[:3]:
+            print("   ", reason)
+
+
+def safe_version() -> None:
+    kb = KnowledgeBase()
+    kb.rules(
+        """
+        % trip(Origin, Dest, Cost, HopsLeft): hop-bounded, budget-guarded.
+        trip(A, B, C, H) <- H >= 0, flight(A, B, C), C <= 800.
+        trip(A, B, C, H) <- H > 0, H1 = H - 1,
+                            trip(A, M, C1, H1), flight(M, B, C2),
+                            C = C1 + C2, C <= 800.
+
+        getaway(A, B, C) <- trip(A, B, C, 3), C <= 400, ~avoid(B).
+        """
+    )
+    kb.facts("flight", FLIGHTS)
+    kb.facts("avoid", [("dfw",)])
+
+    print("\n— the hop-bounded version (certified by integer descent) —")
+    profiler = Profiler()
+    trips = kb.ask("trip($A, B, C, $H)?", A="aus", H=4, profiler=profiler)
+    best: dict[str, float] = {}
+    for city, cost in trips.to_python():
+        best[city] = min(best.get(city, float("inf")), cost)
+    print(f"destinations from AUS, ≤4 hops, ≤$800 (work {profiler.total_work}):")
+    for city, cost in sorted(best.items(), key=lambda kv: kv[1]):
+        print(f"    {city:>4}  ${cost}")
+
+    print("\nweekend getaways (≤ $400, ≤3 hops, avoiding DFW):")
+    getaways = {}
+    for city, cost in kb.ask("getaway($A, B, C)?", A="aus").to_python():
+        getaways[city] = min(getaways.get(city, float("inf")), cost)
+    for city, cost in sorted(getaways.items(), key=lambda kv: kv[1]):
+        print(f"    {city:>4}  ${cost}")
+
+    print("\nEXPLAIN trip($A, B, C, $H)? —")
+    print(kb.explain("trip($A, B, C, $H)?"))
+
+
+if __name__ == "__main__":
+    unsafe_version()
+    safe_version()

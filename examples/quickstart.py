@@ -1,0 +1,54 @@
+"""Quickstart: rules, facts, query forms, and the optimizer's EXPLAIN.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import KnowledgeBase
+
+
+def main() -> None:
+    kb = KnowledgeBase()
+
+    # A rule base: ancestors over a parent relation (one recursive clique).
+    kb.rules(
+        """
+        anc(X, Y) <- par(X, Y).
+        anc(X, Y) <- par(X, Z), anc(Z, Y).
+        siblings(X, Y) <- par(P, X), par(P, Y), X != Y.
+        """
+    )
+
+    # The fact base. Plain Python tuples — the storage layer lifts them.
+    kb.facts(
+        "par",
+        [
+            ("abe", "homer"), ("abe", "herb"),
+            ("homer", "bart"), ("homer", "lisa"), ("homer", "maggie"),
+            ("jackie", "marge"), ("marge", "bart"), ("marge", "lisa"),
+        ],
+    )
+
+    # Ground query: constants make the first argument bound ("anc.bf").
+    print("abe's descendants:")
+    for (who,) in kb.ask("anc(abe, Y)?").to_python():
+        print("   ", who)
+
+    # Query *form*: compiled once for the binding pattern, executed many
+    # times with different values (Section 2 of the paper).
+    form = "anc($X, Y)?"
+    for person in ("homer", "marge"):
+        answers = kb.ask(form, X=person)
+        print(f"{person}'s descendants: {[a for (a,) in answers.to_python()]}")
+
+    # The reverse binding pattern compiles to a different plan.
+    print("bart's ancestors:", [a for (a,) in kb.ask("anc(X, bart)?").to_python()])
+
+    print("\nbart's siblings:", [s for (s,) in kb.ask("siblings(bart, S)?").to_python()])
+
+    # What did the optimizer actually choose?
+    print("\nEXPLAIN anc($X, Y)? —")
+    print(kb.explain(form))
+
+
+if __name__ == "__main__":
+    main()

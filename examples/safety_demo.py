@@ -1,0 +1,74 @@
+"""A tour of the safety analysis (Section 8).
+
+Four vignettes:
+
+1. a rule that loops under Prolog's textual order but is safe once the
+   optimizer reorders it;
+2. the paper's Section 8.3 example — finite answer, yet no permutation
+   computes it: reported unsafe with diagnostics;
+3. structural recursion over lists — certified by subterm descent, then
+   executed with complex terms in the database;
+4. an unstratified program rejected outright.
+
+Run:  python examples/safety_demo.py
+"""
+
+from repro import KnowledgeBase, KnowledgeBaseError, UnsafeQueryError
+
+
+def reordering_rescue() -> None:
+    print("1) reordering rescues a textually unsafe rule")
+    kb = KnowledgeBase()
+    kb.rules("double(X, Y) <- Y = X + X, num(X).")  # Prolog would crash on Y=X+X
+    kb.facts("num", [(n,) for n in (1, 2, 3)])
+    print("   double(X, Y)? ->", kb.ask("double(X, Y)?").to_python())
+    steps = kb.compile("double(X, Y)?").plan.children[0].steps[0].child.children[0].steps
+    print("   chosen order:", " , ".join(str(s.literal) for s in steps))
+
+
+def hopeless_query() -> None:
+    print("\n2) the paper's Section 8.3 example (finite but uncomputable)")
+    kb = KnowledgeBase()
+    kb.rules(
+        """
+        p(X, Y, Z) <- X = 3, Z = X + Y.
+        answer(X, Y, Z) <- p(X, Y, Z), Y = 2 ** X.
+        """
+    )
+    try:
+        kb.ask("answer(X, Y, Z)?")
+    except UnsafeQueryError as err:
+        print("   rejected:", str(err).splitlines()[0])
+        print("   e.g.:", err.reasons[0])
+
+
+def list_recursion() -> None:
+    print("\n3) structural descent over complex terms")
+    kb = KnowledgeBase()
+    kb.rules(
+        """
+        member(X, L) <- L = cons(X, T).
+        member(X, L) <- L = cons(H, T), member(X, T).
+        """
+    )
+    kb.facts("noop", [(0,)])  # the KB needs at least one relation
+    answers = kb.ask("member(X, cons(a, cons(b, cons(c, nil))))?")
+    print("   members of [a, b, c]:", [m for (m,) in answers.to_python()])
+
+
+def unstratified() -> None:
+    print("\n4) unstratified negation is rejected")
+    kb = KnowledgeBase()
+    try:
+        kb.rules("win(X) <- move(X, Y), ~win(Y).")
+        kb.facts("move", [("a", "b")])
+        kb.ask("win(X)?")
+    except KnowledgeBaseError as err:
+        print("   rejected:", err)
+
+
+if __name__ == "__main__":
+    reordering_rescue()
+    hopeless_query()
+    list_recursion()
+    unstratified()

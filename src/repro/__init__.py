@@ -1,0 +1,55 @@
+"""repro — a reproduction of the LDL cost-based query optimizer.
+
+Krishnamurthy & Zaniolo, "Optimization in a Logic Based Language for
+Knowledge and Data Intensive Applications", EDBT 1988.
+
+The package implements the full stack the paper assumes: an LDL-flavoured
+Horn-clause language with complex terms (:mod:`repro.datalog`), an
+in-memory storage substrate with statistics (:mod:`repro.storage`), a
+relational execution engine extended with fixpoint operators
+(:mod:`repro.engine`), processing trees (:mod:`repro.plans`), the cost
+model (:mod:`repro.cost`), and the paper's contribution — the cost-based,
+safety-integrated optimizer (:mod:`repro.optimizer`).
+
+Most applications only need :class:`repro.KnowledgeBase`:
+
+>>> from repro import KnowledgeBase
+>>> kb = KnowledgeBase()
+>>> kb.rules("anc(X,Y) <- par(X,Y). anc(X,Y) <- par(X,Z), anc(Z,Y).")
+2
+>>> kb.facts("par", [("abe", "homer"), ("homer", "bart")])
+2
+>>> kb.ask("anc(abe, Y)?").to_python()
+[('bart',), ('homer',)]
+"""
+
+from .errors import (
+    ExecutionError,
+    KnowledgeBaseError,
+    OptimizationError,
+    ParseError,
+    PlanError,
+    ReproError,
+    SchemaError,
+    UnsafeQueryError,
+)
+from .kb import KnowledgeBase
+from .optimizer.optimizer import OptimizedQuery, Optimizer, OptimizerConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ExecutionError",
+    "KnowledgeBase",
+    "KnowledgeBaseError",
+    "OptimizationError",
+    "OptimizedQuery",
+    "Optimizer",
+    "OptimizerConfig",
+    "ParseError",
+    "PlanError",
+    "ReproError",
+    "SchemaError",
+    "UnsafeQueryError",
+    "__version__",
+]

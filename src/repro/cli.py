@@ -1,0 +1,170 @@
+"""Command-line interface: load LDL files, run queries, explain plans.
+
+Batch:
+
+.. code-block:: console
+
+    $ python -m repro family.ldl -q "anc(abe, Y)?"
+    $ python -m repro family.ldl -q "anc($X, Y)?" -b X=abe --explain
+
+Interactive (a tiny REPL):
+
+.. code-block:: console
+
+    $ python -m repro family.ldl -i
+    ldl> gp(X, Z) <- par(X, Y), par(Y, Z).
+    ldl> gp(abe, Z)?
+    (bart)
+    ldl> :explain gp(abe, Z)?
+    ...
+    ldl> :quit
+
+Statements ending in ``.`` add rules/facts; ``?`` runs a query.  REPL
+commands: ``:explain <query>?``, ``:json <query>?``, ``:relations``,
+``:quit``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import IO, Sequence
+
+from . import KnowledgeBase, OptimizerConfig
+from .errors import ReproError
+from .plans.serialize import plan_to_json
+
+
+def _parse_binding(text: str) -> tuple[str, object]:
+    name, eq, raw = text.partition("=")
+    if not eq:
+        raise argparse.ArgumentTypeError(f"binding must look like NAME=value: {text!r}")
+    value: object = raw
+    try:
+        value = int(raw)
+    except ValueError:
+        try:
+            value = float(raw)
+        except ValueError:
+            pass
+    return name, value
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LDL knowledge-base shell (EDBT 1988 optimizer reproduction)",
+    )
+    parser.add_argument("files", nargs="*", type=Path, help="LDL rule/fact files to load")
+    parser.add_argument("-q", "--query", action="append", default=[],
+                        help="query form to run (repeatable)")
+    parser.add_argument("-b", "--bind", action="append", default=[], type=_parse_binding,
+                        metavar="NAME=VALUE", help="value for a $-bound query variable")
+    parser.add_argument("--explain", action="store_true",
+                        help="print the optimized plan instead of answers")
+    parser.add_argument("--json", action="store_true",
+                        help="print the plan as JSON instead of answers")
+    parser.add_argument("--strategy", default="dp",
+                        choices=("exhaustive", "dp", "kbz", "annealing", "textual"),
+                        help="join-ordering strategy (default: dp)")
+    parser.add_argument("-i", "--interactive", action="store_true",
+                        help="drop into a REPL after loading files")
+    return parser
+
+
+def load_files(kb: KnowledgeBase, files: Sequence[Path], out: IO[str]) -> None:
+    for path in files:
+        added = kb.rules(path.read_text())
+        print(f"loaded {path}: {added} rules, "
+              f"{sum(len(kb.db.relation(n)) for n in kb.db.names)} facts total", file=out)
+
+
+def run_query(kb: KnowledgeBase, query: str, bindings: dict, args, out: IO[str]) -> None:
+    if args.explain:
+        print(kb.explain(query), file=out)
+        return
+    if args.json:
+        print(plan_to_json(kb.compile(query).plan), file=out)
+        return
+    answers = kb.ask(query, **bindings)
+    if not answers.variables:
+        print("true." if len(answers) else "false.", file=out)
+        return
+    header = ", ".join(v.name for v in answers.variables)
+    print(f"-- {header} ({len(answers)} rows)", file=out)
+    for row in answers.to_python():
+        print("  " + ", ".join(repr(v) if isinstance(v, str) else str(v) for v in row), file=out)
+
+
+def repl(kb: KnowledgeBase, args, stdin: IO[str], out: IO[str]) -> None:
+    print("ldl> ", end="", file=out, flush=True)
+    buffer = ""
+    for line in stdin:
+        buffer += line
+        stripped = buffer.strip()
+        if not stripped:
+            print("ldl> ", end="", file=out, flush=True)
+            buffer = ""
+            continue
+        if stripped in (":quit", ":q"):
+            return
+        if stripped == ":relations":
+            for name in sorted(kb.db.names):
+                print(f"  {name}/{kb.db.relation(name).arity}: "
+                      f"{len(kb.db.relation(name))} tuples", file=out)
+            buffer = ""
+            print("ldl> ", end="", file=out, flush=True)
+            continue
+        handled = False
+        try:
+            if stripped.startswith(":explain "):
+                print(kb.explain(stripped[len(":explain "):].strip()), file=out)
+                handled = True
+            elif stripped.startswith(":analyze "):
+                print(kb.analyze(stripped[len(":analyze "):].strip()), file=out)
+                handled = True
+            elif stripped.startswith(":json "):
+                print(plan_to_json(kb.compile(stripped[len(":json "):].strip()).plan), file=out)
+                handled = True
+            elif stripped.endswith("?"):
+                run_query(kb, stripped, {}, args, out)
+                handled = True
+            elif stripped.endswith("."):
+                added = kb.rules(stripped)
+                print(f"ok ({added} rules)", file=out)
+                handled = True
+        except ReproError as err:
+            print(f"error: {err}", file=out)
+            handled = True
+        if handled:
+            buffer = ""
+            print("ldl> ", end="", file=out, flush=True)
+        # otherwise: keep buffering (multi-line statement)
+
+
+def main(argv: Sequence[str] | None = None, stdin: IO[str] | None = None, stdout: IO[str] | None = None) -> int:
+    out = stdout or sys.stdout
+    args = build_parser().parse_args(argv)
+    kb = KnowledgeBase(OptimizerConfig(strategy=args.strategy))
+    try:
+        load_files(kb, args.files, out)
+    except (ReproError, OSError) as err:
+        print(f"error: {err}", file=out)
+        return 1
+
+    bindings = dict(args.bind)
+    status = 0
+    for query in args.query:
+        try:
+            run_query(kb, query, bindings, args, out)
+        except ReproError as err:
+            print(f"error: {err}", file=out)
+            status = 1
+    if args.interactive:
+        repl(kb, args, stdin or sys.stdin, out)
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

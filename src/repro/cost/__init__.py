@@ -1,0 +1,36 @@
+"""Cost model: parameters, estimate records, and the body/fixpoint estimators."""
+
+from .calibrate import CalibrationResult, CalibrationSample, calibrate_cost_params, kendall_tau
+from .estimates import (
+    BodyEstimator,
+    DerivedOracle,
+    LEAF_METHODS,
+    derived_ndvs,
+    estimate_fixpoint,
+)
+from .model import (
+    CostParams,
+    DerivedEstimate,
+    Estimate,
+    INFINITE_COST,
+    StepState,
+    clamp_card,
+)
+
+__all__ = [
+    "BodyEstimator",
+    "CalibrationResult",
+    "CalibrationSample",
+    "CostParams",
+    "calibrate_cost_params",
+    "kendall_tau",
+    "DerivedEstimate",
+    "DerivedOracle",
+    "Estimate",
+    "INFINITE_COST",
+    "LEAF_METHODS",
+    "StepState",
+    "clamp_card",
+    "derived_ndvs",
+    "estimate_fixpoint",
+]

@@ -1,0 +1,307 @@
+"""Adornment of recursive cliques (Section 7.3 of the paper).
+
+Given a *subquery* for a contracted-clique (CC) node — a clique predicate
+plus a binding pattern — and a *c-permutation* (one body permutation per
+replicated rule), the adorned program is constructed exactly as the paper
+prescribes:
+
+    "We construct the adorned version of the program Pgm' for the original
+    program Pgm by replacing the derived predicates in the body by the
+    adorned versions.  The process starts from the given subquery whose
+    adornments determine an adorned version of the predicate.  For each
+    adorned predicate, P.a, and for each rule that has P.a in the head, we
+    generate an adorned version for the rule ... and add it to Pgm'.  We
+    then mark P.a. ... The process terminates when no unmarked adorned
+    predicates are left."
+
+An argument of a body literal is bound if its variables occur in a bound
+argument of the head or in a goal preceding it in the chosen permutation
+(the SIP induced by the permutation — see :mod:`repro.datalog.bindings`).
+
+For the paper's same-generation example this reproduces the published
+adorned cliques for ``sg.bf`` and ``sg.bb`` (see tests).
+
+Reference: [BMSU 85], [Ull 85] for adornments; the c-permutation notion is
+this paper's (Section 7.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from ..errors import OptimizationError
+from .bindings import BindingPattern, adorned_name, head_bound_vars, sip_bindings
+from .graph import Clique
+from .literals import Literal, PredicateRef, pred_ref
+from .rules import Rule
+
+
+@dataclass(frozen=True, slots=True)
+class CPermutation:
+    """A choice of body permutation for each replicated rule of a clique.
+
+    The paper replicates each clique rule once per head binding pattern and
+    chooses a permutation (hence a SIP) for each replica: a *c-permutation*
+    is the cross product of those choices.  ``choices`` maps
+    ``(rule_index, head_adornment)`` to a tuple of body positions;
+    ``defaults`` maps a bare ``rule_index`` and is used when no
+    adornment-specific choice exists; rules absent from both keep their
+    textual order.
+
+    ``rule_index`` is the position of the rule inside ``clique.rules``.
+    """
+
+    choices: Mapping[tuple[int, BindingPattern], tuple[int, ...]] = field(default_factory=dict)
+    defaults: Mapping[int, tuple[int, ...]] = field(default_factory=dict)
+    #: when True, replicas without an explicit choice use the greedy
+    #: most-bound-first SIP (:func:`greedy_sip_permutation`) instead of
+    #: textual order — the classical heuristic SIP selection, and the one
+    #: that reproduces the paper's published sg adornments.
+    greedy: bool = False
+
+    def permutation_for(self, rule_index: int, pattern: BindingPattern, arity: int) -> tuple[int, ...]:
+        """The body-position permutation for one replicated rule."""
+        specific = self.choices.get((rule_index, pattern))
+        if specific is not None:
+            return specific
+        default = self.defaults.get(rule_index)
+        if default is not None:
+            return default
+        return tuple(range(arity))
+
+    @classmethod
+    def identity(cls) -> "CPermutation":
+        """Textual order for every replica."""
+        return cls({}, {})
+
+    @classmethod
+    def greedy_sip(cls) -> "CPermutation":
+        """Greedy most-bound-first SIP for every replica."""
+        return cls({}, {}, greedy=True)
+
+    def key(self) -> tuple:
+        """A hashable identity for memoization."""
+        choice_items = tuple(sorted(((i, p.code), perm) for (i, p), perm in self.choices.items()))
+        default_items = tuple(sorted(self.defaults.items()))
+        return (choice_items, default_items, self.greedy)
+
+
+def greedy_sip_permutation(rule: Rule, pattern: BindingPattern) -> tuple[int, ...]:
+    """The greedy most-bound-first SIP for one replicated rule.
+
+    Starting from the head's bound variables, repeatedly execute the
+    remaining literal with the best score: effectively computable first,
+    then most bound argument positions, then fewest free variables
+    introduced, ties broken by textual position.  For the paper's sg
+    rule this chooses up-first under ``bf`` and dn-first under ``fb`` —
+    exactly the published SIPs.
+    """
+    from .bindings import binds_after
+    from .safety import literal_is_ec
+
+    bound = set(head_bound_vars(rule.head, pattern))
+    remaining = list(range(len(rule.body)))
+    order: list[int] = []
+    while remaining:
+        def score(position: int) -> tuple:
+            literal = rule.body[position]
+            ec_ok, __ = literal_is_ec(literal, frozenset(bound))
+            bound_args = sum(
+                1 for arg in literal.args
+                if _variables_of_arg(arg) <= bound
+            )
+            new_vars = len(literal.variables - bound)
+            return (ec_ok, bound_args, -new_vars, -position)
+
+        best = max(remaining, key=score)
+        order.append(best)
+        remaining.remove(best)
+        bound = set(binds_after(rule.body[best], frozenset(bound)))
+    return tuple(order)
+
+
+def _variables_of_arg(arg) -> frozenset:
+    from .terms import variables_of
+
+    return variables_of(arg)
+
+
+@dataclass(frozen=True, slots=True)
+class AdornedRule:
+    """One adorned replica of a clique rule.
+
+    * ``rule`` — the adorned rule itself: head renamed to ``P.a``, clique
+      literals in the body renamed to their adorned versions, body in the
+      chosen permutation order;
+    * ``source_index`` — index of the originating rule in ``clique.rules``;
+    * ``head_adornment`` — the replica's binding pattern;
+    * ``permutation`` — body positions of the original rule, in chosen order;
+    * ``literal_adornments`` — the entry adornment of every body literal
+      under the SIP (parallel to ``rule.body``).
+    """
+
+    rule: Rule
+    source_index: int
+    head_adornment: BindingPattern
+    permutation: tuple[int, ...]
+    literal_adornments: tuple[BindingPattern, ...]
+
+    @property
+    def is_recursive(self) -> bool:
+        """True if the adorned body contains an adorned clique literal."""
+        return any("." in l.predicate for l in self.rule.body if not l.is_comparison)
+
+
+@dataclass(frozen=True, slots=True)
+class AdornedClique:
+    """The result of adorning a clique for a subquery.
+
+    ``query_predicate`` is the adorned name of the subquery predicate
+    (e.g. ``sg.bf``); ``rules`` contains every generated replica;
+    ``external_goals`` lists, for OPT, each non-clique derived literal
+    together with its adornment (these subtrees are optimized separately,
+    per step 3.1.ii of the OPT algorithm, Figure 7-2).
+    """
+
+    clique: Clique
+    query_ref: PredicateRef
+    query_adornment: BindingPattern
+    rules: tuple[AdornedRule, ...]
+    external_goals: tuple[tuple[Literal, BindingPattern], ...]
+
+    @property
+    def query_predicate(self) -> str:
+        return adorned_name(self.query_ref.name, self.query_adornment)
+
+    @property
+    def adorned_predicates(self) -> frozenset[str]:
+        return frozenset(ar.rule.head.predicate for ar in self.rules)
+
+    def rules_for(self, adorned_predicate: str) -> tuple[AdornedRule, ...]:
+        return tuple(ar for ar in self.rules if ar.rule.head.predicate == adorned_predicate)
+
+    def __str__(self) -> str:
+        return "\n".join(str(ar.rule) for ar in self.rules)
+
+
+def adorn_clique(
+    clique: Clique,
+    query_ref: PredicateRef,
+    query_adornment: BindingPattern,
+    cperm: CPermutation | None = None,
+    derived_predicates: frozenset[PredicateRef] = frozenset(),
+) -> AdornedClique:
+    """Adorn *clique* for the subquery ``query_ref`` / ``query_adornment``.
+
+    *derived_predicates* identifies non-clique predicates that are derived
+    (they are collected into ``external_goals`` with their adornments so
+    the caller can optimize them; base and evaluable literals pass through
+    untouched).
+
+    Raises :class:`OptimizationError` if the subquery predicate is not in
+    the clique or arities mismatch.
+    """
+    if query_ref not in clique.predicates:
+        raise OptimizationError(f"{query_ref} is not a member of {clique}")
+    if query_adornment.arity != query_ref.arity:
+        raise OptimizationError(
+            f"adornment {query_adornment} does not fit {query_ref}"
+        )
+    cperm = cperm or CPermutation.identity()
+
+    rule_list = list(clique.rules)
+    worklist: list[tuple[PredicateRef, BindingPattern]] = [(query_ref, query_adornment)]
+    marked: set[tuple[PredicateRef, BindingPattern]] = set()
+    adorned_rules: list[AdornedRule] = []
+    external: dict[tuple[Literal, BindingPattern], None] = {}
+
+    while worklist:
+        ref, pattern = worklist.pop(0)
+        if (ref, pattern) in marked:
+            continue
+        marked.add((ref, pattern))
+        for index, rule in enumerate(rule_list):
+            if rule.head_ref != ref:
+                continue
+            if cperm.greedy and (index, pattern) not in cperm.choices:
+                permutation = greedy_sip_permutation(rule, pattern)
+            else:
+                permutation = cperm.permutation_for(index, pattern, len(rule.body))
+            if sorted(permutation) != list(range(len(rule.body))):
+                raise OptimizationError(
+                    f"invalid permutation {permutation} for rule {rule} "
+                    f"({len(rule.body)} body literals)"
+                )
+            body = tuple(rule.body[j] for j in permutation)
+            initially_bound = head_bound_vars(rule.head, pattern)
+            entries = sip_bindings(body, initially_bound)
+            new_body: list[Literal] = []
+            literal_adornments: list[BindingPattern] = []
+            for literal, entry_bound in zip(body, entries):
+                adn = BindingPattern.of_literal(literal, entry_bound)
+                literal_adornments.append(adn)
+                if literal.is_comparison:
+                    new_body.append(literal)
+                    continue
+                literal_ref = pred_ref(literal)
+                if literal_ref in clique.predicates:
+                    new_body.append(literal.with_predicate(adorned_name(literal.predicate, adn)))
+                    worklist.append((literal_ref, adn))
+                else:
+                    if literal_ref in derived_predicates:
+                        external[(literal, adn)] = None
+                    new_body.append(literal)
+            adorned_head = rule.head.with_predicate(adorned_name(ref.name, pattern))
+            adorned_rules.append(
+                AdornedRule(
+                    rule=Rule(adorned_head, tuple(new_body), rule.label),
+                    source_index=index,
+                    head_adornment=pattern,
+                    permutation=tuple(permutation),
+                    literal_adornments=tuple(literal_adornments),
+                )
+            )
+
+    return AdornedClique(
+        clique=clique,
+        query_ref=query_ref,
+        query_adornment=query_adornment,
+        rules=tuple(adorned_rules),
+        external_goals=tuple(external),
+    )
+
+
+def enumerate_cpermutations(
+    clique: Clique,
+    query_ref: PredicateRef,
+    query_adornment: BindingPattern,
+    derived_predicates: frozenset[PredicateRef] = frozenset(),
+    max_count: int | None = None,
+) -> Iterable[CPermutation]:
+    """Generate the c-permutations for a clique subquery.
+
+    The space is the cross product, over the clique's rules, of all body
+    permutations (Section 7.3: "if there are nc rules in the clique, then
+    each possible cross product of nc permutations defines a
+    c-permutation").  We apply one choice per rule uniformly across its
+    replicas — the distinct adorned programs are exhausted collectively,
+    as the paper notes ("Note that all of them are not distinct, but
+    collectively they exhaust the possible adorned programs") — and the
+    caller deduplicates by resulting adorned program.
+
+    The generator is lazy; *max_count* caps the enumeration for very large
+    cliques (the stochastic strategy is the paper's answer there).
+    """
+    from itertools import permutations as iter_permutations, product
+
+    per_rule: list[list[tuple[int, ...]]] = []
+    for rule in clique.rules:
+        per_rule.append([tuple(p) for p in iter_permutations(range(len(rule.body)))])
+
+    produced = 0
+    for combo in product(*per_rule):
+        yield CPermutation(choices={}, defaults={i: perm for i, perm in enumerate(combo)})
+        produced += 1
+        if max_count is not None and produced >= max_count:
+            return

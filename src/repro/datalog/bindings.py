@@ -1,0 +1,288 @@
+"""Binding patterns (adornments), query forms, and sideways information passing.
+
+Section 2 of the paper makes optimization *query specific*: a query with
+indicated bound/unbound arguments is a *query form*, and ``P1(x̄, y)?`` is
+compiled separately from ``P1(x, y)?``.  A :class:`BindingPattern` records
+which argument positions are bound (``b``) or free (``f``) — the
+*adornment* of [Ull 85] — and a :class:`QueryForm` pairs a goal literal
+with the set of its variables that are bound at call time.
+
+Section 2 also observes that "a given permutation is associated with a
+unique SIP" (sideways information passing): executing the body literals of
+a rule left to right, each literal is entered with the variables bound by
+the head's bound arguments plus all variables of the literals before it.
+:func:`sip_bindings` computes exactly that, and is shared by the adornment
+machinery (Section 7.3), the safety analysis (Section 8) and the cost
+model (pipelined bindings are "treated as selections", Section 7.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from .literals import ARITHMETIC_FUNCTORS, Literal
+from .terms import Struct, Term, Variable, variables_of, walk_terms
+
+_VALID_CODES = frozenset("bf")
+
+
+@dataclass(frozen=True, slots=True)
+class BindingPattern:
+    """An adornment: one ``b`` (bound) or ``f`` (free) per argument position.
+
+    >>> BindingPattern("bf").bound_positions
+    (0,)
+    """
+
+    code: str
+
+    def __post_init__(self) -> None:
+        if not set(self.code) <= _VALID_CODES:
+            raise ValueError(f"binding pattern may contain only 'b'/'f': {self.code!r}")
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def all_free(cls, arity: int) -> "BindingPattern":
+        return cls("f" * arity)
+
+    @classmethod
+    def all_bound(cls, arity: int) -> "BindingPattern":
+        return cls("b" * arity)
+
+    @classmethod
+    def from_positions(cls, arity: int, bound_positions: Iterable[int]) -> "BindingPattern":
+        bound = set(bound_positions)
+        return cls("".join("b" if i in bound else "f" for i in range(arity)))
+
+    @classmethod
+    def of_literal(cls, literal: Literal, bound_vars: frozenset[Variable]) -> "BindingPattern":
+        """The adornment of *literal* when *bound_vars* are instantiated.
+
+        An argument is bound iff it is ground once the bound variables are
+        substituted — i.e. every variable occurring in it is bound.
+        Constants are always bound.
+        """
+        codes = []
+        for arg in literal.args:
+            arg_vars = variables_of(arg)
+            codes.append("b" if arg_vars <= bound_vars else "f")
+        return cls("".join(codes))
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def arity(self) -> int:
+        return len(self.code)
+
+    @property
+    def bound_positions(self) -> tuple[int, ...]:
+        return tuple(i for i, c in enumerate(self.code) if c == "b")
+
+    @property
+    def free_positions(self) -> tuple[int, ...]:
+        return tuple(i for i, c in enumerate(self.code) if c == "f")
+
+    @property
+    def bound_count(self) -> int:
+        return self.code.count("b")
+
+    @property
+    def is_all_free(self) -> bool:
+        return "b" not in self.code
+
+    @property
+    def is_all_bound(self) -> bool:
+        return "f" not in self.code
+
+    def is_bound(self, position: int) -> bool:
+        return self.code[position] == "b"
+
+    def subsumes(self, other: "BindingPattern") -> bool:
+        """True if every position bound in *self* is bound in *other*.
+
+        A plan optimized for this pattern can serve the more-bound *other*
+        pattern (the extra bindings are simply not exploited).
+        """
+        return all(o == "b" for s, o in zip(self.code, other.code) if s == "b")
+
+    def __str__(self) -> str:
+        return self.code
+
+    def __len__(self) -> int:
+        return len(self.code)
+
+
+def adorned_name(predicate: str, pattern: BindingPattern) -> str:
+    """The paper's ``p.bf`` naming for adorned predicate versions."""
+    return f"{predicate}.{pattern.code}"
+
+
+def split_adorned_name(name: str) -> tuple[str, BindingPattern | None]:
+    """Inverse of :func:`adorned_name`; pattern is ``None`` for plain names."""
+    base, dot, code = name.rpartition(".")
+    if dot and base and code and set(code) <= _VALID_CODES:
+        return base, BindingPattern(code)
+    return name, None
+
+
+@dataclass(frozen=True, slots=True)
+class QueryForm:
+    """A goal literal plus the set of its variables bound at query time.
+
+    ``sg($X, Y)?`` parses to goal ``sg(X, Y)`` with ``bound_vars={X}``;
+    constants in the goal (``sg(joe, Y)?``) make their positions bound
+    without entering ``bound_vars``.
+    """
+
+    goal: Literal
+    bound_vars: frozenset[Variable]
+
+    @classmethod
+    def from_literal(cls, goal: Literal, bound_vars: frozenset[Variable] = frozenset()) -> "QueryForm":
+        return cls(goal, frozenset(bound_vars) & goal.variables)
+
+    @property
+    def predicate(self) -> str:
+        return self.goal.predicate
+
+    @property
+    def adornment(self) -> BindingPattern:
+        return BindingPattern.of_literal(self.goal, self.bound_vars)
+
+    @property
+    def adorned_predicate(self) -> str:
+        return adorned_name(self.goal.predicate, self.adornment)
+
+    @property
+    def free_vars(self) -> frozenset[Variable]:
+        return self.goal.variables - self.bound_vars
+
+    @property
+    def output_vars(self) -> tuple[Variable, ...]:
+        """Free variables in first-occurrence order — the answer columns."""
+        seen: list[Variable] = []
+        for arg in self.goal.args:
+            for var in _ordered_variables(arg):
+                if var not in self.bound_vars and var not in seen:
+                    seen.append(var)
+        return tuple(seen)
+
+    def __str__(self) -> str:
+        rendered = []
+        for arg in self.goal.args:
+            text = str(arg)
+            if isinstance(arg, Variable) and arg in self.bound_vars:
+                text = f"${text}"
+            rendered.append(text)
+        return f"{self.goal.predicate}({', '.join(rendered)})?"
+
+
+def _ordered_variables(term: Term) -> list[Variable]:
+    """Variables of *term* in left-to-right first-occurrence order."""
+    out: list[Variable] = []
+    stack = [term]
+    while stack:
+        t = stack.pop(0)
+        if isinstance(t, Variable):
+            if t not in out:
+                out.append(t)
+        elif hasattr(t, "args"):
+            stack = list(t.args) + stack
+    return out
+
+
+def is_invertible_pattern(term: Term, bound: frozenset[Variable]) -> bool:
+    """Can ``term = <ground value>`` be solved for *term*'s free variables?
+
+    True when no arithmetic functor in *term* sits above an unbound
+    variable — unification can decompose constructor terms (``pair(A,B)``)
+    but cannot invert ``X + 1``.
+    """
+    for sub in walk_terms(term):
+        if isinstance(sub, Struct) and sub.functor in ARITHMETIC_FUNCTORS:
+            if not variables_of(sub) <= bound:
+                return False
+    return True
+
+
+def binds_after(literal: Literal, bound: frozenset[Variable]) -> frozenset[Variable]:
+    """Variables bound after *literal* executes with *bound* already bound.
+
+    * base/derived literal — all its variables become bound (each answer
+      tuple instantiates them);
+    * negated literal — binds nothing (stratified negation filters);
+    * ``l = r`` — if one side is ground under *bound* and the other is a
+      *pattern* (no arithmetic over unbound variables, hence invertible
+      by unification), the pattern side's variables become bound, in line
+      with Section 8.1 ("x = expression" is EC once the expression's
+      variables are instantiated);
+    * other comparisons — bind nothing (they filter).
+    """
+    if literal.is_comparison:
+        if literal.predicate != "=":
+            return bound
+        left, right = literal.args
+        extra: set[Variable] = set()
+        if variables_of(left) <= bound and is_invertible_pattern(right, bound):
+            extra |= variables_of(right)
+        if variables_of(right) <= bound and is_invertible_pattern(left, bound):
+            extra |= variables_of(left)
+        return bound | extra
+    if literal.negated:
+        return bound
+    return bound | literal.variables
+
+
+def sip_bindings(
+    body: Sequence[Literal],
+    initially_bound: frozenset[Variable],
+) -> list[frozenset[Variable]]:
+    """For each body position, the variables bound on *entry* to that literal.
+
+    This is the unique SIP induced by the permutation *body* (Section 2).
+    """
+    bound = frozenset(initially_bound)
+    entry_bindings: list[frozenset[Variable]] = []
+    for literal in body:
+        entry_bindings.append(bound)
+        bound = binds_after(literal, bound)
+    return entry_bindings
+
+
+def adornment_sequence(
+    body: Sequence[Literal],
+    initially_bound: frozenset[Variable],
+) -> list[BindingPattern]:
+    """The adornment of each body literal under the SIP of this permutation."""
+    return [
+        BindingPattern.of_literal(literal, entry)
+        for literal, entry in zip(body, sip_bindings(body, initially_bound))
+    ]
+
+
+def head_bound_vars(head: Literal, pattern: BindingPattern) -> frozenset[Variable]:
+    """Variables bound by calling *head* with adornment *pattern*."""
+    if pattern.arity != head.arity:
+        raise ValueError(
+            f"adornment {pattern} has arity {pattern.arity}, head {head} has arity {head.arity}"
+        )
+    bound: set[Variable] = set()
+    for position in pattern.bound_positions:
+        bound.update(variables_of(head.args[position]))
+    return frozenset(bound)
+
+
+def all_binding_patterns(arity: int) -> list[BindingPattern]:
+    """All ``2**arity`` patterns, most-bound first (useful in tests).
+
+    Section 7.2: "the maximum number of bindings is equal to the
+    cardinality of the power set of the arguments".
+    """
+    patterns = []
+    for mask in range(2 ** arity):
+        code = "".join("b" if mask & (1 << i) else "f" for i in range(arity))
+        patterns.append(BindingPattern(code))
+    patterns.sort(key=lambda p: (-p.bound_count, p.code))
+    return patterns

@@ -1,0 +1,208 @@
+"""User-extensible built-in predicates: infinite relations with modes.
+
+Section 8.1 treats evaluable predicates as "infinite relations" whose
+safety is governed by *binding patterns*: "Patterns of argument bindings
+that ensure EC are simple to derive for comparison predicates ... More
+general situations can be treated via mode declarations added to
+procedures."  The comparison predicates are hard-wired; this module is
+the general mechanism: a :class:`BuiltinPredicate` couples
+
+* a set of **modes** — binding patterns under which a call is
+  effectively computable (a call is safe when its adornment binds at
+  least the positions of some declared mode);
+* a Python **evaluator** — "executed by calls to built-in routines":
+  given the argument terms with the bound ones ground, it enumerates the
+  matching ground tuples (finitely, per the mode contract);
+* **cost hints** for the optimizer (per-probe fan-out and work).
+
+The default registry ships ``range/3``, ``succ/2``, ``string_concat/3``
+(which is genuinely relational: with only the third argument bound it
+enumerates every split) and ``list_length/2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
+
+from ..errors import ExecutionError
+from .bindings import BindingPattern
+from .literals import Literal
+from .terms import Constant, Term, Variable, is_ground, list_elements
+
+#: Evaluator contract: receives the literal's argument terms *after*
+#: substitution (bound ones ground, free ones still variables/patterns)
+#: and yields full ground argument tuples that satisfy the predicate.
+Evaluator = Callable[[tuple[Term, ...]], Iterable[tuple[Term, ...]]]
+
+
+@dataclass(frozen=True, slots=True)
+class BuiltinPredicate:
+    """One registered built-in: modes + evaluator + cost hints."""
+
+    name: str
+    arity: int
+    modes: tuple[BindingPattern, ...]
+    evaluate: Evaluator
+    #: expected matching tuples per (mode-satisfying) probe
+    per_probe_card: float = 4.0
+    #: expected work per probe, in the cost model's tuple units
+    per_probe_cost: float = 4.0
+
+    def __post_init__(self) -> None:
+        for mode in self.modes:
+            if mode.arity != self.arity:
+                raise ValueError(
+                    f"builtin {self.name!r}: mode {mode} does not match arity {self.arity}"
+                )
+
+    def satisfied_mode(self, adornment: BindingPattern) -> BindingPattern | None:
+        """The first declared mode whose bound positions are all bound in
+        *adornment* (mode 'bbf' is satisfied by calls 'bbf' and 'bbb')."""
+        for mode in self.modes:
+            if mode.subsumes(adornment):
+                return mode
+        return None
+
+    def is_ec(self, literal: Literal, bound: frozenset[Variable]) -> bool:
+        """EC test for a call under the current bound-variable set."""
+        adornment = BindingPattern.of_literal(literal, bound)
+        return self.satisfied_mode(adornment) is not None
+
+
+class BuiltinRegistry:
+    """A name -> :class:`BuiltinPredicate` map, shared by the safety
+    analysis, the cost model, and both execution paths."""
+
+    def __init__(self, builtins: Iterable[BuiltinPredicate] = ()):
+        self._by_name: dict[str, BuiltinPredicate] = {}
+        for builtin in builtins:
+            self.register(builtin)
+
+    def register(self, builtin: BuiltinPredicate) -> None:
+        if builtin.name in self._by_name:
+            raise ValueError(f"builtin {builtin.name!r} already registered")
+        self._by_name[builtin.name] = builtin
+
+    def get(self, name: str) -> BuiltinPredicate | None:
+        return self._by_name.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __iter__(self) -> Iterator[BuiltinPredicate]:
+        return iter(self._by_name.values())
+
+    def names(self) -> frozenset[str]:
+        return frozenset(self._by_name)
+
+    def copy(self) -> "BuiltinRegistry":
+        return BuiltinRegistry(self._by_name.values())
+
+
+# ---------------------------------------------------------------------------
+# The default built-ins
+# ---------------------------------------------------------------------------
+
+
+def _as_int(term: Term, context: str) -> int:
+    if isinstance(term, Constant) and isinstance(term.value, int) and not isinstance(term.value, bool):
+        return term.value
+    raise ExecutionError(f"{context}: expected an integer, got {term}")
+
+
+def _as_str(term: Term, context: str) -> str:
+    if isinstance(term, Constant) and isinstance(term.value, str):
+        return term.value
+    raise ExecutionError(f"{context}: expected a string, got {term}")
+
+
+def _eval_range(args: tuple[Term, ...]) -> Iterable[tuple[Term, ...]]:
+    """``range(Lo, Hi, X)``: Lo <= X < Hi over the integers."""
+    lo = _as_int(args[0], "range/3")
+    hi = _as_int(args[1], "range/3")
+    for value in range(lo, hi):
+        yield (args[0], args[1], Constant(value))
+
+
+def _eval_succ(args: tuple[Term, ...]) -> Iterable[tuple[Term, ...]]:
+    """``succ(X, Y)``: Y = X + 1, invertible."""
+    x, y = args
+    if is_ground(x):
+        yield (x, Constant(_as_int(x, "succ/2") + 1))
+    elif is_ground(y):
+        yield (Constant(_as_int(y, "succ/2") - 1), y)
+    else:  # pragma: no cover - mode contract prevents this
+        raise ExecutionError("succ/2 called with both arguments unbound")
+
+
+def _eval_string_concat(args: tuple[Term, ...]) -> Iterable[tuple[Term, ...]]:
+    """``string_concat(A, B, C)``: C is A followed by B.
+
+    Modes: ``bbf`` concatenates; ``ffb`` (and anything binding C)
+    enumerates all splits of C — a genuinely relational built-in.
+    """
+    a, b, c = args
+    if is_ground(a) and is_ground(b):
+        yield (a, b, Constant(_as_str(a, "string_concat") + _as_str(b, "string_concat")))
+        return
+    whole = _as_str(c, "string_concat")
+    for cut in range(len(whole) + 1):
+        yield (Constant(whole[:cut]), Constant(whole[cut:]), c)
+
+
+def _eval_list_length(args: tuple[Term, ...]) -> Iterable[tuple[Term, ...]]:
+    """``list_length(L, N)``: N is the length of the cons-list L."""
+    lst, __ = args
+    elements = list_elements(lst)
+    if elements is None:
+        raise ExecutionError(f"list_length/2: {lst} is not a proper list")
+    yield (lst, Constant(len(elements)))
+
+
+def builtin_oracle(registry: BuiltinRegistry | None):
+    """A :data:`~repro.datalog.safety.FinitenessOracle` over a registry:
+    built-in calls are finite exactly when a declared mode is satisfied;
+    everything else stays finite (base/derived predicates)."""
+
+    def oracle(literal: Literal, bound: frozenset[Variable]) -> bool:
+        if registry is None:
+            return True
+        builtin = registry.get(literal.predicate)
+        if builtin is None or builtin.arity != literal.arity:
+            return True
+        return builtin.is_ec(literal, bound)
+
+    return oracle
+
+
+def default_builtins() -> BuiltinRegistry:
+    """A fresh registry with the stock built-ins."""
+    return BuiltinRegistry(
+        [
+            BuiltinPredicate(
+                "range", 3,
+                (BindingPattern("bbf"),),
+                _eval_range,
+                per_probe_card=16.0, per_probe_cost=16.0,
+            ),
+            BuiltinPredicate(
+                "succ", 2,
+                (BindingPattern("bf"), BindingPattern("fb")),
+                _eval_succ,
+                per_probe_card=1.0, per_probe_cost=1.0,
+            ),
+            BuiltinPredicate(
+                "string_concat", 3,
+                (BindingPattern("bbf"), BindingPattern("ffb")),
+                _eval_string_concat,
+                per_probe_card=8.0, per_probe_cost=8.0,
+            ),
+            BuiltinPredicate(
+                "list_length", 2,
+                (BindingPattern("bf"),),
+                _eval_list_length,
+                per_probe_card=1.0, per_probe_cost=2.0,
+            ),
+        ]
+    )

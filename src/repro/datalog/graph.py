@@ -1,0 +1,282 @@
+"""Predicate dependency graph, recursive cliques, and stratification.
+
+Section 2 of the paper: ``P ⇒ Q`` when P appears in the body of a rule with
+head Q (transitively closed); a predicate with ``P ⇒ P`` is *recursive*;
+mutual recursion partitions the recursive predicates into *recursive
+cliques* (the strongly connected components of the dependency graph); a
+clique C1 *follows* C2 when a predicate of C2 is used to define C1 — a
+partial order that fixes evaluation order.
+
+The SCCs are computed with an iterative Tarjan so deep rule chains cannot
+blow the Python recursion limit.  The same graph also yields:
+
+* a topological order of cliques (the evaluation schedule),
+* the *stratification* check for negation (no negative edge inside an SCC),
+* reachability ("which predicates are relevant to this query").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import KnowledgeBaseError
+from .literals import PredicateRef, pred_ref
+from .rules import Program, Rule
+
+
+@dataclass(frozen=True, slots=True)
+class Clique:
+    """A recursive clique: one SCC of mutually recursive predicates.
+
+    ``rules`` are all rules whose head belongs to the clique — the paper
+    attaches exactly this rule set to the contracted CC node (Section 4).
+    ``exit_rules`` are those with no clique predicate in their body (the
+    non-recursive "basis" rules); ``recursive_rules`` the others.
+    """
+
+    predicates: frozenset[PredicateRef]
+    rules: tuple[Rule, ...]
+
+    @property
+    def recursive_rules(self) -> tuple[Rule, ...]:
+        return tuple(r for r in self.rules if self._is_recursive_rule(r))
+
+    @property
+    def exit_rules(self) -> tuple[Rule, ...]:
+        return tuple(r for r in self.rules if not self._is_recursive_rule(r))
+
+    def _is_recursive_rule(self, rule: Rule) -> bool:
+        return any(ref in self.predicates for ref in rule.body_refs)
+
+    def contains(self, ref: PredicateRef) -> bool:
+        return ref in self.predicates
+
+    @property
+    def is_linear(self) -> bool:
+        """True if every recursive rule has exactly one clique literal.
+
+        Linearity is the applicability condition for the counting method
+        (Section 7.3 uses [SZ 86]'s generalized counting, defined for
+        linear recursion).
+        """
+        for rule in self.recursive_rules:
+            clique_literals = [l for l in rule.body if not l.is_comparison and pred_ref(l) in self.predicates]
+            if len(clique_literals) != 1:
+                return False
+        return True
+
+    def __str__(self) -> str:
+        names = ", ".join(sorted(str(p) for p in self.predicates))
+        return f"Clique({names}; {len(self.rules)} rules)"
+
+
+class DependencyGraph:
+    """The predicate dependency graph of a program.
+
+    Nodes are :class:`PredicateRef`; there is an edge ``body_pred ->
+    head_pred`` for each body occurrence (matching the paper's ``P ⇒ Q``
+    direction).  Negative edges are tracked separately for the
+    stratification check.
+    """
+
+    def __init__(self, program: Program):
+        self._program = program
+        self._successors: dict[PredicateRef, set[PredicateRef]] = {}
+        self._predecessors: dict[PredicateRef, set[PredicateRef]] = {}
+        self._negative_edges: set[tuple[PredicateRef, PredicateRef]] = set()
+
+        for ref in program.predicates:
+            self._successors.setdefault(ref, set())
+            self._predecessors.setdefault(ref, set())
+        for rule in program:
+            head = rule.head_ref
+            for literal in rule.body:
+                if literal.is_comparison:
+                    continue
+                body_ref = pred_ref(literal)
+                self._successors.setdefault(body_ref, set()).add(head)
+                self._predecessors.setdefault(head, set()).add(body_ref)
+                self._successors.setdefault(head, set())
+                self._predecessors.setdefault(body_ref, set())
+                if literal.negated or rule.is_aggregate:
+                    # Aggregation, like negation, needs its inputs complete:
+                    # the body must come from a strictly lower stratum.
+                    self._negative_edges.add((body_ref, head))
+
+        self._sccs = self._tarjan()
+        self._scc_of: dict[PredicateRef, int] = {}
+        for index, component in enumerate(self._sccs):
+            for ref in component:
+                self._scc_of[ref] = index
+
+    # -- SCC machinery -------------------------------------------------------
+
+    def _tarjan(self) -> list[frozenset[PredicateRef]]:
+        """Iterative Tarjan SCC, post-processed so components are in
+        topological order of the condensation: callees (body predicates)
+        before callers (heads).  Tarjan natively emits the opposite order
+        for our body→head edge direction, so the list is reversed at the
+        end."""
+        index_counter = 0
+        indices: dict[PredicateRef, int] = {}
+        lowlinks: dict[PredicateRef, int] = {}
+        on_stack: set[PredicateRef] = set()
+        stack: list[PredicateRef] = []
+        components: list[frozenset[PredicateRef]] = []
+
+        for root in sorted(self._successors, key=str):
+            if root in indices:
+                continue
+            work: list[tuple[PredicateRef, list[PredicateRef], int]] = [
+                (root, sorted(self._successors[root], key=str), 0)
+            ]
+            indices[root] = lowlinks[root] = index_counter
+            index_counter += 1
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                node, successors, next_child = work.pop()
+                advanced = False
+                while next_child < len(successors):
+                    child = successors[next_child]
+                    next_child += 1
+                    if child not in indices:
+                        indices[child] = lowlinks[child] = index_counter
+                        index_counter += 1
+                        stack.append(child)
+                        on_stack.add(child)
+                        work.append((node, successors, next_child))
+                        work.append((child, sorted(self._successors[child], key=str), 0))
+                        advanced = True
+                        break
+                    if child in on_stack:
+                        lowlinks[node] = min(lowlinks[node], indices[child])
+                if advanced:
+                    continue
+                if lowlinks[node] == indices[node]:
+                    component: set[PredicateRef] = set()
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.add(member)
+                        if member == node:
+                            break
+                    components.append(frozenset(component))
+                if work:
+                    parent = work[-1][0]
+                    lowlinks[parent] = min(lowlinks[parent], lowlinks[node])
+        components.reverse()
+        return components
+
+    # -- public API ------------------------------------------------------------
+
+    @property
+    def program(self) -> Program:
+        return self._program
+
+    def successors(self, ref: PredicateRef) -> frozenset[PredicateRef]:
+        """Predicates whose definitions use *ref* (``ref ⇒ s``)."""
+        return frozenset(self._successors.get(ref, set()))
+
+    def predecessors(self, ref: PredicateRef) -> frozenset[PredicateRef]:
+        """Predicates used in the definition of *ref*."""
+        return frozenset(self._predecessors.get(ref, set()))
+
+    def implies(self, p: PredicateRef, q: PredicateRef) -> bool:
+        """The paper's ``P ⇒ Q``: transitive body-to-head reachability."""
+        seen: set[PredicateRef] = set()
+        frontier = [p]
+        while frontier:
+            node = frontier.pop()
+            for successor in self._successors.get(node, ()):  # pragma: no branch
+                if successor == q:
+                    return True
+                if successor not in seen:
+                    seen.add(successor)
+                    frontier.append(successor)
+        return False
+
+    def is_recursive(self, ref: PredicateRef) -> bool:
+        """True iff ``ref ⇒ ref`` — i.e. it belongs to a recursive clique."""
+        scc = self._sccs[self._scc_of[ref]] if ref in self._scc_of else frozenset()
+        if len(scc) > 1:
+            return True
+        # singleton SCC: recursive only via a self-loop
+        return ref in self._successors.get(ref, set())
+
+    def recursive_cliques(self) -> list[Clique]:
+        """All recursive cliques, callees first (a linearization of *follows*)."""
+        cliques = []
+        for component in self._sccs:
+            representative = next(iter(component))
+            if len(component) == 1 and not self.is_recursive(representative):
+                continue
+            rules = tuple(
+                rule for rule in self._program if rule.head_ref in component
+            )
+            cliques.append(Clique(component, rules))
+        return cliques
+
+    def clique_of(self, ref: PredicateRef) -> Clique | None:
+        """The recursive clique containing *ref*, or ``None``."""
+        for clique in self.recursive_cliques():
+            if clique.contains(ref):
+                return clique
+        return None
+
+    def follows(self, c1: Clique, c2: Clique) -> bool:
+        """Section 2: C1 follows C2 if some predicate of C2 defines C1."""
+        return any(
+            self.implies(p2, p1) for p2 in c2.predicates for p1 in c1.predicates
+        )
+
+    def evaluation_order(self) -> list[frozenset[PredicateRef]]:
+        """SCCs in dependency order (everything a component needs precedes it)."""
+        return list(self._sccs)
+
+    def reachable_from(self, ref: PredicateRef) -> frozenset[PredicateRef]:
+        """All predicates on which *ref* (transitively) depends, incl. itself."""
+        seen: set[PredicateRef] = {ref}
+        frontier = [ref]
+        while frontier:
+            node = frontier.pop()
+            for pred in self._predecessors.get(node, ()):  # pragma: no branch
+                if pred not in seen:
+                    seen.add(pred)
+                    frontier.append(pred)
+        return frozenset(seen)
+
+    def check_stratified(self) -> None:
+        """Raise unless negation is stratified.
+
+        A program is stratified iff no negative edge connects two
+        predicates of the same SCC — i.e. no predicate depends negatively
+        on itself, directly or through recursion [BN 87].
+        """
+        for source, target in self._negative_edges:
+            if self._scc_of.get(source) == self._scc_of.get(target):
+                raise KnowledgeBaseError(
+                    f"program is not stratified: {target} depends on {source} "
+                    "through negation or aggregation inside a recursive clique"
+                )
+
+    def strata(self) -> dict[PredicateRef, int]:
+        """Assign each predicate a stratum: negated dependencies must come
+        from strictly lower strata.  Requires :meth:`check_stratified`."""
+        self.check_stratified()
+        level: dict[PredicateRef, int] = {}
+        # SCCs arrive callees-first, so one pass suffices.
+        for component in self._sccs:
+            stratum = 0
+            for ref in component:
+                for pred in self._predecessors.get(ref, ()):  # pragma: no branch
+                    if pred in component:
+                        continue
+                    base = level.get(pred, 0)
+                    if (pred, ref) in self._negative_edges:
+                        stratum = max(stratum, base + 1)
+                    else:
+                        stratum = max(stratum, base)
+            for ref in component:
+                level[ref] = stratum
+        return level

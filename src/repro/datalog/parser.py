@@ -1,0 +1,386 @@
+"""Parser for an LDL-flavoured textual rule syntax.
+
+Grammar (informal)::
+
+    program   := (rule | fact)*
+    rule      := head ("<-" | ":-") body "."
+    fact      := literal "."
+    body      := goal ("," goal)*
+    goal      := "~" literal | "not" literal | literal | comparison
+    literal   := IDENT [ "(" term ("," term)* ")" ]
+    comparison:= term OP term          where OP in = != < <= > >=
+    term      := arithmetic expression over primaries
+    primary   := NUMBER | STRING | VAR | "$" VAR | IDENT [ "(" terms ")" ]
+               | "(" term ")" | "[" terms [ "|" term ] "]"
+
+Conventions:
+
+* identifiers starting with a lower-case letter are predicate/function
+  symbols or string constants; upper-case or ``_`` start a variable;
+* ``%`` and ``#`` introduce comments to end of line;
+* ``$X`` marks a variable as *bound at query time* — this is how query
+  *forms* (Section 2 of the paper: ``P1(x̄, y)?``) are written, e.g.
+  ``sg($X, Y)?`` is the paper's ``sg.bf`` query form;
+* arithmetic operators build complex terms with operator functors, which
+  only the evaluable-predicate machinery interprets; ``f(X, g(Y))`` builds
+  ordinary complex terms;
+* ``[a, b | T]`` is ``cons(a, cons(b, T))``.
+
+The parser is deliberately a plain hand-written recursive descent over a
+regex tokenizer: no parser-generator dependency, precise error positions.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..errors import ParseError
+from .bindings import QueryForm
+from .literals import COMPARISON_OPS, Literal
+from .rules import Program, Rule
+from .terms import Constant, Struct, Term, Variable, make_list
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<WS>\s+)
+  | (?P<COMMENT>[%\#][^\n]*)
+  | (?P<NUMBER>\d+\.\d+|\d+)
+  | (?P<STRING>'(?:[^'\\]|\\.)*'|"(?:[^"\\]|\\.)*")
+  | (?P<ARROW><-|:-)
+  | (?P<OP>\*\*|//|<=|>=|!=|=|<|>|\+|-|\*|/)
+  | (?P<IDENT>[a-z][A-Za-z0-9_.]*)
+  | (?P<VAR>[A-Z_][A-Za-z0-9_]*)
+  | (?P<PUNCT>[()\[\],.|~$?])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORD_OPS = {"mod"}
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    kind: str
+    text: str
+    line: int
+    column: int
+
+
+def tokenize(source: str) -> list[Token]:
+    """Split *source* into tokens, raising :class:`ParseError` on junk."""
+    tokens: list[Token] = []
+    line = 1
+    line_start = 0
+    pos = 0
+    while pos < len(source):
+        m = _TOKEN_RE.match(source, pos)
+        if m is None:
+            raise ParseError(
+                f"unexpected character {source[pos]!r}", line, pos - line_start + 1
+            )
+        kind = m.lastgroup or ""
+        text = m.group()
+        if kind not in ("WS", "COMMENT"):
+            if kind == "IDENT" and text in _KEYWORD_OPS:
+                kind = "OP"
+            elif kind == "IDENT" and text == "not":
+                kind = "NOT"
+            tokens.append(Token(kind, text, line, pos - line_start + 1))
+        newlines = text.count("\n")
+        if newlines:
+            line += newlines
+            line_start = pos + text.rindex("\n") + 1
+        pos = m.end()
+    tokens.append(Token("EOF", "", line, pos - line_start + 1))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over a token list."""
+
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._index = 0
+        #: variables marked bound with ``$`` in the current statement
+        self.bound_vars: set[Variable] = set()
+        self._anon_counter = 0
+
+    # -- token helpers -----------------------------------------------------
+
+    def _peek(self, ahead: int = 0) -> Token:
+        return self._tokens[min(self._index + ahead, len(self._tokens) - 1)]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._index]
+        if token.kind != "EOF":
+            self._index += 1
+        return token
+
+    def _expect(self, kind: str, text: str | None = None) -> Token:
+        token = self._peek()
+        if token.kind != kind or (text is not None and token.text != text):
+            want = text or kind
+            raise ParseError(f"expected {want!r}, found {token.text!r}", token.line, token.column)
+        return self._advance()
+
+    def _accept(self, kind: str, text: str | None = None) -> Token | None:
+        token = self._peek()
+        if token.kind == kind and (text is None or token.text == text):
+            return self._advance()
+        return None
+
+    def _fresh_anonymous(self) -> Variable:
+        self._anon_counter += 1
+        return Variable(f"_anon{self._anon_counter}")
+
+    # -- grammar -----------------------------------------------------------
+
+    def parse_program(self) -> Program:
+        rules: list[Rule] = []
+        while self._peek().kind != "EOF":
+            rules.append(self.parse_rule())
+        return Program(rules)
+
+    def parse_rule(self) -> Rule:
+        self.bound_vars = set()
+        head = self.parse_literal(allow_negation=False)
+        body: list[Literal] = []
+        if self._accept("ARROW"):
+            body.append(self.parse_goal())
+            while self._accept("PUNCT", ","):
+                body.append(self.parse_goal())
+        self._expect("PUNCT", ".")
+        return Rule(head, tuple(body))
+
+    def parse_query(self) -> QueryForm:
+        """Parse a single query form, e.g. ``sg($X, Y)?`` or ``anc(tom, Y)?``."""
+        self.bound_vars = set()
+        goal = self.parse_literal(allow_negation=False)
+        self._expect("PUNCT", "?")
+        tail = self._peek()
+        if tail.kind != "EOF":
+            raise ParseError(f"trailing input after query: {tail.text!r}", tail.line, tail.column)
+        return QueryForm.from_literal(goal, bound_vars=frozenset(self.bound_vars))
+
+    def parse_goal(self) -> Literal:
+        if self._accept("PUNCT", "~") or self._accept("NOT"):
+            inner = self.parse_literal(allow_negation=False)
+            if inner.is_comparison:
+                token = self._peek()
+                raise ParseError("negation applies to predicates, not comparisons", token.line, token.column)
+            return Literal(inner.predicate, inner.args, negated=True)
+        return self.parse_literal(allow_negation=False)
+
+    def parse_literal(self, allow_negation: bool = True) -> Literal:
+        """A predicate literal, or a comparison if the goal starts with a term."""
+        token = self._peek()
+        # A literal proper starts with IDENT followed by "(" or a comparison op
+        # context.  Everything else must be the left side of a comparison.
+        if token.kind == "IDENT" and self._peek(1).text == "(" and self._peek(1).kind == "PUNCT":
+            name = self._advance().text
+            self._expect("PUNCT", "(")
+            args = [self.parse_term()]
+            while self._accept("PUNCT", ","):
+                args.append(self.parse_term())
+            self._expect("PUNCT", ")")
+            # f(X) = g(Y) — a comparison whose left side is a struct.
+            if self._peek().kind == "OP" and self._peek().text in COMPARISON_OPS:
+                left: Term = Struct(name, tuple(args))
+                op = self._advance().text
+                right = self.parse_term()
+                return Literal(op, (left, right))
+            return Literal(name, tuple(args))
+        if token.kind == "IDENT" and (
+            self._peek(1).kind == "ARROW"
+            or self._peek(1).text in {".", "?", ","} | COMPARISON_OPS
+        ):
+            nxt = self._peek(1)
+            if nxt.kind == "OP" and nxt.text in COMPARISON_OPS:
+                left = self.parse_term()
+                op = self._advance().text
+                right = self.parse_term()
+                return Literal(op, (left, right))
+            # zero-ary predicate: ``halt.``
+            name = self._advance().text
+            return Literal(name, ())
+        # Otherwise: comparison whose left side is an arbitrary term.
+        left = self.parse_term()
+        op_token = self._peek()
+        if op_token.kind != "OP" or op_token.text not in COMPARISON_OPS:
+            raise ParseError(
+                f"expected a comparison operator, found {op_token.text!r}",
+                op_token.line,
+                op_token.column,
+            )
+        self._advance()
+        right = self.parse_term()
+        return Literal(op_token.text, (left, right))
+
+    # -- terms / expressions -------------------------------------------------
+
+    def parse_term(self) -> Term:
+        return self._parse_additive()
+
+    def _parse_additive(self) -> Term:
+        left = self._parse_multiplicative()
+        while True:
+            token = self._peek()
+            if token.kind == "OP" and token.text in ("+", "-"):
+                self._advance()
+                right = self._parse_multiplicative()
+                left = Struct(token.text, (left, right))
+            else:
+                return left
+
+    def _parse_multiplicative(self) -> Term:
+        left = self._parse_power()
+        while True:
+            token = self._peek()
+            if token.kind == "OP" and token.text in ("*", "/", "//", "mod"):
+                self._advance()
+                right = self._parse_power()
+                left = Struct(token.text, (left, right))
+            else:
+                return left
+
+    def _parse_power(self) -> Term:
+        base = self._parse_unary()
+        if self._peek().kind == "OP" and self._peek().text == "**":
+            self._advance()
+            exponent = self._parse_power()  # right associative
+            return Struct("**", (base, exponent))
+        return base
+
+    def _parse_unary(self) -> Term:
+        if self._peek().kind == "OP" and self._peek().text == "-":
+            self._advance()
+            inner = self._parse_unary()
+            if isinstance(inner, Constant) and isinstance(inner.value, (int, float)):
+                return Constant(-inner.value)
+            return Struct("neg", (inner,))
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Term:
+        token = self._peek()
+        if token.kind == "NUMBER":
+            self._advance()
+            value = float(token.text) if "." in token.text else int(token.text)
+            return Constant(value)
+        if token.kind == "STRING":
+            self._advance()
+            raw = token.text[1:-1]
+            return Constant(raw.replace("\\'", "'").replace('\\"', '"').replace("\\\\", "\\"))
+        if token.kind == "VAR":
+            self._advance()
+            if token.text == "_":
+                return self._fresh_anonymous()
+            return Variable(token.text)
+        if token.kind == "PUNCT" and token.text == "$":
+            self._advance()
+            var_token = self._expect("VAR")
+            var = Variable(var_token.text)
+            self.bound_vars.add(var)
+            return var
+        if token.kind == "IDENT":
+            self._advance()
+            if self._peek().kind == "PUNCT" and self._peek().text == "(":
+                self._advance()
+                args = [self.parse_term()]
+                while self._accept("PUNCT", ","):
+                    args.append(self.parse_term())
+                self._expect("PUNCT", ")")
+                return Struct(token.text, tuple(args))
+            return Constant(token.text)
+        if token.kind == "PUNCT" and token.text == "(":
+            self._advance()
+            inner = self.parse_term()
+            self._expect("PUNCT", ")")
+            return inner
+        if token.kind == "PUNCT" and token.text == "[":
+            return self._parse_list()
+        raise ParseError(f"expected a term, found {token.text!r}", token.line, token.column)
+
+    def _parse_list(self) -> Term:
+        self._expect("PUNCT", "[")
+        if self._accept("PUNCT", "]"):
+            return Constant("nil")
+        items = [self.parse_term()]
+        while self._accept("PUNCT", ","):
+            items.append(self.parse_term())
+        if self._accept("PUNCT", "|"):
+            tail = self.parse_term()
+            self._expect("PUNCT", "]")
+            result: Term = tail
+            for item in reversed(items):
+                result = Struct("cons", (item, result))
+            return result
+        self._expect("PUNCT", "]")
+        return make_list(items)
+
+
+def parse_program(source: str) -> Program:
+    """Parse LDL source text into a :class:`~repro.datalog.rules.Program`.
+
+    >>> program = parse_program("anc(X, Y) <- par(X, Y).")
+    >>> len(program)
+    1
+    """
+    return _Parser(tokenize(source)).parse_program()
+
+
+def parse_rule(source: str) -> Rule:
+    """Parse a single rule (or fact) from *source*."""
+    parser = _Parser(tokenize(source))
+    rule = parser.parse_rule()
+    tail = parser._peek()
+    if tail.kind != "EOF":
+        raise ParseError(f"trailing input after rule: {tail.text!r}", tail.line, tail.column)
+    return rule
+
+
+def parse_query(source: str) -> QueryForm:
+    """Parse a query form such as ``sg($X, Y)?`` or ``sg(joe, Y)?``."""
+    return _Parser(tokenize(source)).parse_query()
+
+
+def parse_literal(source: str) -> Literal:
+    """Parse a bare literal (handy in tests)."""
+    parser = _Parser(tokenize(source))
+    literal = parser.parse_goal()
+    tail = parser._peek()
+    if tail.kind != "EOF":
+        raise ParseError(f"trailing input after literal: {tail.text!r}", tail.line, tail.column)
+    return literal
+
+
+def iter_statements(source: str) -> Iterator[str]:
+    """Split multi-statement source on ``.`` boundaries, respecting strings.
+
+    Useful for REPL-style incremental loading; the parser itself handles
+    whole programs directly.
+    """
+    depth = 0
+    current: list[str] = []
+    in_string: str | None = None
+    for ch in source:
+        current.append(ch)
+        if in_string:
+            if ch == in_string:
+                in_string = None
+            continue
+        if ch in "'\"":
+            in_string = ch
+        elif ch in "([":
+            depth += 1
+        elif ch in ")]":
+            depth -= 1
+        elif ch == "." and depth == 0:
+            statement = "".join(current).strip()
+            if statement and statement != ".":
+                yield statement
+            current = []
+    tail = "".join(current).strip()
+    if tail:
+        yield tail

@@ -1,0 +1,218 @@
+"""Rules and rule bases (programs).
+
+A :class:`Rule` is a Horn clause ``head <- body``; a :class:`Program` is an
+ordered collection of rules indexed by head predicate.  Programs are
+immutable once built: the optimizer derives per-query rewritten programs
+(adorned, magic, counting) rather than mutating the source program, so
+value semantics keeps the bookkeeping honest.
+
+Terminology follows Section 2 of the paper: predicates defined by rules are
+*derived*; predicates that only ever appear in bodies are *base* (backed by
+database relations).  Comparison literals are neither — they are evaluable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from ..errors import KnowledgeBaseError
+from .literals import Literal, PredicateRef, pred_ref
+from .terms import Struct, Term, Variable, rename_term
+from .unify import Substitution, apply
+
+#: Aggregate functors allowed in rule heads (LDL's set-grouping flavour):
+#: ``dept_total(D, sum(S)) <- emp(E, D, S).`` groups by the plain head
+#: arguments and aggregates the wrapped variable over the rule's distinct
+#: derivations.
+AGGREGATE_FUNCTORS = frozenset({"count", "sum", "min_of", "max_of", "avg"})
+
+
+def aggregate_spec(term: Term) -> tuple[str, Variable] | None:
+    """``(functor, variable)`` if *term* is an aggregate head argument."""
+    if (
+        isinstance(term, Struct)
+        and term.functor in AGGREGATE_FUNCTORS
+        and term.arity == 1
+        and isinstance(term.args[0], Variable)
+    ):
+        return term.functor, term.args[0]
+    return None
+
+
+@dataclass(frozen=True, slots=True)
+class Rule:
+    """A Horn clause: ``head <- body``.
+
+    A rule with an empty body is a *fact rule* (the parser produces these
+    for ground facts written in rule syntax; the knowledge base routes
+    ground fact rules into the fact base instead).
+    """
+
+    head: Literal
+    body: tuple[Literal, ...]
+    label: str | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.body, tuple):
+            object.__setattr__(self, "body", tuple(self.body))
+        if self.head.negated:
+            raise KnowledgeBaseError(f"rule head may not be negated: {self.head}")
+        if self.head.is_comparison:
+            raise KnowledgeBaseError(f"rule head may not be an evaluable predicate: {self.head}")
+
+    # -- structural properties -------------------------------------------------
+
+    @property
+    def is_fact(self) -> bool:
+        return not self.body
+
+    @property
+    def aggregate_positions(self) -> tuple[int, ...]:
+        """Head positions holding aggregate terms (``sum(S)`` etc.)."""
+        return tuple(
+            index for index, arg in enumerate(self.head.args)
+            if aggregate_spec(arg) is not None
+        )
+
+    @property
+    def is_aggregate(self) -> bool:
+        return bool(self.aggregate_positions)
+
+    @property
+    def head_ref(self) -> PredicateRef:
+        return pred_ref(self.head)
+
+    @property
+    def variables(self) -> frozenset[Variable]:
+        out = set(self.head.variables)
+        for literal in self.body:
+            out.update(literal.variables)
+        return frozenset(out)
+
+    @property
+    def body_refs(self) -> tuple[PredicateRef, ...]:
+        """Predicate refs of the non-evaluable body literals."""
+        return tuple(pred_ref(l) for l in self.body if not l.is_comparison)
+
+    def substitute(self, subst: Substitution) -> "Rule":
+        """Apply a substitution to every literal of the rule."""
+        def sub_literal(l: Literal) -> Literal:
+            return Literal(l.predicate, tuple(apply(a, subst) for a in l.args), l.negated)
+
+        return Rule(sub_literal(self.head), tuple(sub_literal(l) for l in self.body), self.label)
+
+    def rename_variables(self, mapping: Mapping[Variable, Variable]) -> "Rule":
+        """Apply a variable renaming to the whole rule."""
+        def ren(l: Literal) -> Literal:
+            return Literal(l.predicate, tuple(rename_term(a, dict(mapping)) for a in l.args), l.negated)
+
+        return Rule(ren(self.head), tuple(ren(l) for l in self.body), self.label)
+
+    def with_body(self, body: Sequence[Literal]) -> "Rule":
+        """A copy of this rule with a different body (used for permutations)."""
+        return Rule(self.head, tuple(body), self.label)
+
+    def __str__(self) -> str:
+        if self.is_fact:
+            return f"{self.head}."
+        body = ", ".join(str(l) for l in self.body)
+        return f"{self.head} <- {body}."
+
+    def __repr__(self) -> str:
+        return f"Rule({str(self)!r})"
+
+
+class Program:
+    """An immutable rule base.
+
+    Provides the derived/base classification and per-predicate rule lookup
+    that the dependency graph, rewriters and optimizer are built on.
+    Construction validates that a predicate is used with a single arity.
+    """
+
+    def __init__(self, rules: Iterable[Rule]):
+        self._rules: tuple[Rule, ...] = tuple(rules)
+        self._by_head: dict[PredicateRef, tuple[Rule, ...]] = {}
+        arities: dict[str, int] = {}
+
+        def check_arity(literal: Literal) -> None:
+            if literal.is_comparison:
+                return
+            seen = arities.setdefault(literal.predicate, literal.arity)
+            if seen != literal.arity:
+                raise KnowledgeBaseError(
+                    f"predicate {literal.predicate!r} used with arities {seen} and {literal.arity}"
+                )
+
+        grouped: dict[PredicateRef, list[Rule]] = {}
+        for rule in self._rules:
+            check_arity(rule.head)
+            for literal in rule.body:
+                check_arity(literal)
+            grouped.setdefault(rule.head_ref, []).append(rule)
+        self._by_head = {ref: tuple(rs) for ref, rs in grouped.items()}
+
+    # -- collection protocol ---------------------------------------------------
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self._rules)
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Program):
+            return NotImplemented
+        return self._rules == other._rules
+
+    def __hash__(self) -> int:
+        return hash(self._rules)
+
+    @property
+    def rules(self) -> tuple[Rule, ...]:
+        return self._rules
+
+    # -- predicate classification ----------------------------------------------
+
+    @property
+    def derived_predicates(self) -> frozenset[PredicateRef]:
+        """Predicates defined by at least one rule."""
+        return frozenset(self._by_head)
+
+    @property
+    def base_predicates(self) -> frozenset[PredicateRef]:
+        """Non-evaluable predicates referenced in bodies but never defined."""
+        referenced: set[PredicateRef] = set()
+        for rule in self._rules:
+            referenced.update(rule.body_refs)
+        return frozenset(referenced - set(self._by_head))
+
+    @property
+    def predicates(self) -> frozenset[PredicateRef]:
+        """All non-evaluable predicates mentioned anywhere."""
+        return self.derived_predicates | self.base_predicates
+
+    def is_derived(self, ref: PredicateRef) -> bool:
+        return ref in self._by_head
+
+    def rules_for(self, ref: PredicateRef) -> tuple[Rule, ...]:
+        """The rules whose head is *ref* (empty tuple for base predicates)."""
+        return self._by_head.get(ref, ())
+
+    # -- derivation ------------------------------------------------------------
+
+    def extend(self, rules: Iterable[Rule]) -> "Program":
+        """A new program with *rules* appended."""
+        return Program(self._rules + tuple(rules))
+
+    def replace_rules(self, ref: PredicateRef, rules: Iterable[Rule]) -> "Program":
+        """A new program where the rules for *ref* are swapped out."""
+        kept = [r for r in self._rules if r.head_ref != ref]
+        return Program(kept + list(rules))
+
+    def __str__(self) -> str:
+        return "\n".join(str(r) for r in self._rules)
+
+    def __repr__(self) -> str:
+        return f"Program({len(self._rules)} rules, {len(self._by_head)} derived predicates)"

@@ -1,0 +1,309 @@
+"""Safety analysis: effective computability and well-founded orders (Sec. 8).
+
+The paper decomposes safety into two obligations:
+
+1. **Effective computability (EC)** of every rule body under the chosen
+   permutation — no infinite *intermediate* result.  Evaluable predicates
+   are formally infinite relations, so they are EC only under sufficient
+   binding: comparisons other than ``=`` need *all* variables bound;
+   ``x = expression`` is EC "as soon as all the variables in expression
+   are instantiated" (Section 8.1).  Negated goals need all variables
+   bound (stratified difference over a finite ground instance).
+
+2. A **well-founded order** for every recursive clique — the fixpoint
+   iteration must terminate.  "For example, if a list is traversed
+   recursively, then 'the size of the list is monotonically decreasing
+   with a bound of an empty list' is a well-founded order."  We implement
+   three sufficient conditions (the paper is explicit that only
+   sufficient conditions are decidable [Za 86]):
+
+   * **finiteness** — the clique's recursive rules introduce no new
+     values (no function symbols, no arithmetic): the fixpoint lives in a
+     finite Herbrand base, so it terminates for any binding;
+   * **structural descent** — every bound argument of a clique call is a
+     subterm of a bound head argument, and at least one is a *proper*
+     subterm (list/tree traversal);
+   * **integer descent** — a bound integer argument strictly decreases by
+     a positive constant while a comparison guard bounds it from below
+     (``fact(N-1)`` under ``N > 0``).
+
+EC is monotone in the set of bound variables — once a goal is executable
+it stays executable as more variables are bound — so the existence of a
+safe permutation is decidable greedily (:func:`exists_safe_order`), which
+the tests exploit against the optimizer's exhaustive search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from .adorn import AdornedClique
+from .bindings import binds_after, split_adorned_name
+from .literals import Literal
+from .rules import Rule
+from .terms import Constant, Struct, Term, Variable, variables_of, walk_terms
+
+#: Decides whether a positive non-evaluable literal is finite when entered
+#: with the given bound variables.  Base relations are always finite; the
+#: optimizer supplies a callback that recurses into derived predicates.
+FinitenessOracle = Callable[[Literal, frozenset[Variable]], bool]
+
+
+def _always_finite(literal: Literal, bound: frozenset[Variable]) -> bool:
+    return True
+
+
+@dataclass(frozen=True, slots=True)
+class ECReport:
+    """Outcome of an EC check for one body permutation."""
+
+    ok: bool
+    failures: tuple[str, ...] = ()
+
+    def __bool__(self) -> bool:  # pragma: no cover - trivial
+        return self.ok
+
+
+def literal_is_ec(literal: Literal, bound: frozenset[Variable], oracle: FinitenessOracle = _always_finite) -> tuple[bool, str]:
+    """Is *literal* effectively computable when entered with *bound*?
+
+    Returns ``(ok, reason)`` where *reason* explains a failure.
+    """
+    if literal.is_comparison:
+        left, right = literal.args
+        if literal.predicate == "=":
+            from .bindings import is_invertible_pattern
+
+            if variables_of(left) <= bound and is_invertible_pattern(right, bound):
+                return True, ""
+            if variables_of(right) <= bound and is_invertible_pattern(left, bound):
+                return True, ""
+            return False, (
+                f"'{literal}': neither side is fully instantiated "
+                "(or the free side is not an invertible pattern)"
+            )
+        free = literal.variables - bound
+        if free:
+            names = ", ".join(sorted(v.name for v in free))
+            return False, f"'{literal}': comparison entered with unbound {names}"
+        return True, ""
+    if literal.negated:
+        free = literal.variables - bound
+        if free:
+            names = ", ".join(sorted(v.name for v in free))
+            return False, f"'{literal}': negated goal entered with unbound {names}"
+        return True, ""
+    if oracle(literal, bound):
+        return True, ""
+    return False, f"'{literal}': infinite relation under this binding"
+
+
+def ec_check(
+    body: Sequence[Literal],
+    initially_bound: frozenset[Variable],
+    oracle: FinitenessOracle = _always_finite,
+) -> ECReport:
+    """Check EC of *body* executed left to right from *initially_bound*."""
+    bound = frozenset(initially_bound)
+    failures: list[str] = []
+    for literal in body:
+        ok, reason = literal_is_ec(literal, bound, oracle)
+        if not ok:
+            failures.append(reason)
+        bound = binds_after(literal, bound)
+    return ECReport(not failures, tuple(failures))
+
+
+def exists_safe_order(
+    body: Sequence[Literal],
+    initially_bound: frozenset[Variable],
+    oracle: FinitenessOracle = _always_finite,
+) -> tuple[tuple[int, ...] | None, list[str]]:
+    """Find *some* EC permutation of *body*, or prove none exists.
+
+    Greedy saturation is complete because EC is monotone in the bound-
+    variable set: executing any executable goal first never disables
+    another.  Returns ``(permutation, [])`` on success or
+    ``(None, reasons)`` when the remaining goals are all stuck.
+    """
+    bound = frozenset(initially_bound)
+    remaining = list(range(len(body)))
+    order: list[int] = []
+    while remaining:
+        progressed = False
+        for index in list(remaining):
+            ok, __ = literal_is_ec(body[index], bound, oracle)
+            if ok:
+                order.append(index)
+                remaining.remove(index)
+                bound = binds_after(body[index], bound)
+                progressed = True
+        if not progressed:
+            reasons = []
+            for index in remaining:
+                __, reason = literal_is_ec(body[index], bound, oracle)
+                reasons.append(reason)
+            return None, reasons
+    return tuple(order), []
+
+
+# ---------------------------------------------------------------------------
+# Well-founded orders for recursive cliques
+# ---------------------------------------------------------------------------
+
+
+def _has_value_invention(rules: Sequence[Rule]) -> bool:
+    """Do these rules ever manufacture values absent from the database?
+
+    True when a function symbol appears in a rule *head* (``p(f(X)) <-``
+    builds new terms) or in an ``=`` goal (``Y = X + 1`` evaluates to new
+    constants, ``Y = f(X)`` constructs new terms).  Structs inside
+    positive body literals only pattern-match existing data and do not
+    invent values.
+    """
+    def contains_struct(term: Term) -> bool:
+        return any(isinstance(sub, Struct) for sub in walk_terms(term))
+
+    for rule in rules:
+        if any(contains_struct(arg) for arg in rule.head.args):
+            return True
+        for literal in rule.body:
+            if literal.is_comparison and literal.predicate == "=":
+                if any(contains_struct(arg) for arg in literal.args):
+                    return True
+    return False
+
+
+def _is_subterm(candidate: Term, container: Term, proper: bool = False) -> bool:
+    """Is *candidate* a (proper) subterm of *container*?"""
+    for index, sub in enumerate(walk_terms(container)):
+        if proper and index == 0:
+            continue
+        if sub == candidate:
+            return True
+    return False
+
+
+def _equality_definitions(body: Sequence[Literal]) -> dict[Variable, Term]:
+    """Map ``V -> expr`` for every ``V = expr`` goal in the body."""
+    out: dict[Variable, Term] = {}
+    for literal in body:
+        if literal.is_comparison and literal.predicate == "=":
+            left, right = literal.args
+            if isinstance(left, Variable):
+                out[left] = right
+            elif isinstance(right, Variable):
+                out[right] = left
+    return out
+
+
+def _decreases_by_constant(term: Term, over: Variable) -> bool:
+    """True for ``over - k`` with a positive integer constant k."""
+    return (
+        isinstance(term, Struct)
+        and term.functor == "-"
+        and len(term.args) == 2
+        and term.args[0] == over
+        and isinstance(term.args[1], Constant)
+        and isinstance(term.args[1].value, (int, float))
+        and term.args[1].value > 0
+    )
+
+
+def _guarded_below(body: Sequence[Literal], var: Variable) -> bool:
+    """Is *var* bounded below by a comparison guard (``var > c``/``>=``)?"""
+    for literal in body:
+        if not literal.is_comparison:
+            continue
+        left, right = literal.args
+        if literal.predicate in (">", ">=") and left == var and isinstance(right, Constant):
+            return True
+        if literal.predicate in ("<", "<=") and right == var and isinstance(left, Constant):
+            return True
+    return False
+
+
+@dataclass(frozen=True, slots=True)
+class WellFoundedReport:
+    """Outcome of the well-founded-order check for one adorned clique."""
+
+    ok: bool
+    argument: str
+
+    def __bool__(self) -> bool:  # pragma: no cover - trivial
+        return self.ok
+
+
+def well_founded_order(adorned: AdornedClique) -> WellFoundedReport:
+    """Certify termination of the fixpoint for *adorned* (sufficient only).
+
+    Tries, in order: finiteness, then per-rule structural/integer descent
+    on bound arguments.  Descent arguments require a bound subquery — the
+    descending measure lives in the bound arguments that magic/counting
+    propagate.
+    """
+    recursive = [ar for ar in adorned.rules if ar.is_recursive]
+    all_rules = [ar.rule for ar in adorned.rules]
+    if not recursive:
+        return WellFoundedReport(True, "clique has no recursive adorned rules")
+    if not _has_value_invention(all_rules):
+        return WellFoundedReport(
+            True, "no value invention: fixpoint confined to a finite Herbrand base"
+        )
+
+    for adorned_rule in recursive:
+        rule = adorned_rule.rule
+        head_pattern = adorned_rule.head_adornment
+        if head_pattern.bound_count == 0:
+            return WellFoundedReport(
+                False,
+                f"rule '{rule}' invents values and its head adornment is all-free: "
+                "no descending measure is available",
+            )
+        definitions = _equality_definitions(rule.body)
+        head_bound_terms = [rule.head.args[i] for i in head_pattern.bound_positions]
+        # A body equality ``V = cons(H, T)`` names the structure of a bound
+        # head variable V: include the defining term so its subterms count
+        # as descending measures (the list-traversal pattern).
+        for term in list(head_bound_terms):
+            if isinstance(term, Variable) and term in definitions:
+                head_bound_terms.append(definitions[term])
+
+        for literal in rule.body:
+            if literal.is_comparison:
+                continue
+            __, pattern = split_adorned_name(literal.predicate)
+            if pattern is None:
+                continue  # not a clique call
+            strict = False
+            for position in pattern.bound_positions:
+                arg: Term = literal.args[position]
+                if isinstance(arg, Variable) and arg in definitions:
+                    arg = definitions[arg]
+                if any(_is_subterm(arg, h, proper=True) for h in head_bound_terms):
+                    strict = True
+                    continue
+                if any(_is_subterm(arg, h) for h in head_bound_terms):
+                    continue
+                decreasing = False
+                for head_term in head_bound_terms:
+                    if isinstance(head_term, Variable) and _decreases_by_constant(arg, head_term):
+                        if _guarded_below(rule.body, head_term):
+                            decreasing = True
+                            break
+                if decreasing:
+                    strict = True
+                    continue
+                return WellFoundedReport(
+                    False,
+                    f"rule '{rule}': bound argument {arg} of {literal.predicate} is not "
+                    "a descending measure of the head's bound arguments",
+                )
+            if not strict:
+                return WellFoundedReport(
+                    False,
+                    f"rule '{rule}': no strictly decreasing bound argument in call "
+                    f"to {literal.predicate}",
+                )
+    return WellFoundedReport(True, "all clique calls strictly descend on a bound argument")

@@ -1,0 +1,196 @@
+"""Unification and substitutions over LDL terms.
+
+LDL's "unification-based pattern matching capability" (Section 1) is what
+makes it suitable for symbolic applications; the engine uses unification
+whenever a rule head or a complex term in a body literal must be matched
+against ground data, and the optimizer's adornment machinery uses
+:func:`term_binding` to decide how much of a complex argument is bound.
+
+Substitutions are plain immutable-by-convention dicts mapping
+:class:`~repro.datalog.terms.Variable` to :data:`~repro.datalog.terms.Term`.
+``unify`` is purely functional: it returns a *new* substitution or ``None``
+on failure, never mutating its input.
+
+The occurs check is **on by default**.  LDL is a database language — the
+fixpoint engine must not build infinite rational trees — so we pay the
+O(size) check.  It can be disabled for hot inner loops that match against
+ground tuples, where the check can never fire.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional
+
+from .terms import Constant, Struct, Term, Variable, variables_of
+
+#: A substitution: finite mapping from variables to terms.
+Substitution = dict[Variable, Term]
+
+EMPTY_SUBSTITUTION: Substitution = {}
+
+
+def walk(term: Term, subst: Mapping[Variable, Term]) -> Term:
+    """Dereference *term* through *subst* until it is not a bound variable.
+
+    Does not descend into structs; use :func:`apply` for a deep walk.
+    """
+    while isinstance(term, Variable):
+        bound = subst.get(term)
+        if bound is None:
+            return term
+        term = bound
+    return term
+
+
+def apply(term: Term, subst: Mapping[Variable, Term]) -> Term:
+    """Apply *subst* to *term*, replacing bound variables recursively."""
+    term = walk(term, subst)
+    if isinstance(term, Struct):
+        new_args = tuple(apply(a, subst) for a in term.args)
+        if new_args == term.args:
+            return term
+        return Struct(term.functor, new_args)
+    return term
+
+
+def occurs_in(var: Variable, term: Term, subst: Mapping[Variable, Term]) -> bool:
+    """True iff *var* occurs in *term* after dereferencing through *subst*."""
+    stack = [term]
+    while stack:
+        t = walk(stack.pop(), subst)
+        if t == var:
+            return True
+        if isinstance(t, Struct):
+            stack.extend(t.args)
+    return False
+
+
+def unify(
+    left: Term,
+    right: Term,
+    subst: Optional[Substitution] = None,
+    occurs_check: bool = True,
+) -> Optional[Substitution]:
+    """Unify two terms under an optional existing substitution.
+
+    Returns the extended substitution (a fresh dict — the input is not
+    mutated) or ``None`` if the terms do not unify.
+
+    >>> from repro.datalog.terms import Variable, Constant
+    >>> unify(Variable("X"), Constant(3))
+    {Variable('X'): Constant(3)}
+    """
+    out: Substitution = dict(subst) if subst else {}
+    stack: list[tuple[Term, Term]] = [(left, right)]
+    while stack:
+        a, b = stack.pop()
+        a = walk(a, out)
+        b = walk(b, out)
+        if a == b:
+            continue
+        if isinstance(a, Variable):
+            if occurs_check and occurs_in(a, b, out):
+                return None
+            out[a] = b
+            continue
+        if isinstance(b, Variable):
+            if occurs_check and occurs_in(b, a, out):
+                return None
+            out[b] = a
+            continue
+        if isinstance(a, Struct) and isinstance(b, Struct):
+            if a.functor != b.functor or a.arity != b.arity:
+                return None
+            stack.extend(zip(a.args, b.args))
+            continue
+        # Constant vs Constant (unequal), or Constant vs Struct: clash.
+        return None
+    return out
+
+
+def unify_sequences(
+    lefts: Iterable[Term],
+    rights: Iterable[Term],
+    subst: Optional[Substitution] = None,
+    occurs_check: bool = True,
+) -> Optional[Substitution]:
+    """Unify two equal-length term sequences pairwise.
+
+    Used to match a literal's argument list against a stored tuple.
+    Returns ``None`` on length mismatch or any pairwise failure.
+    """
+    lefts = tuple(lefts)
+    rights = tuple(rights)
+    if len(lefts) != len(rights):
+        return None
+    out: Optional[Substitution] = dict(subst) if subst else {}
+    for a, b in zip(lefts, rights):
+        out = unify(a, b, out, occurs_check=occurs_check)
+        if out is None:
+            return None
+    return out
+
+
+def match(pattern: Term, ground: Term, subst: Optional[Substitution] = None) -> Optional[Substitution]:
+    """One-way unification: bind variables of *pattern* to parts of *ground*.
+
+    *ground* must be variable-free; this is the common case of matching a
+    body literal against a database tuple, and skips the occurs check.
+    """
+    out: Substitution = dict(subst) if subst else {}
+    stack: list[tuple[Term, Term]] = [(pattern, ground)]
+    while stack:
+        p, g = stack.pop()
+        p = walk(p, out)
+        if isinstance(p, Variable):
+            out[p] = g
+            continue
+        if isinstance(p, Constant):
+            if p != g:
+                return None
+            continue
+        if not isinstance(g, Struct) or p.functor != g.functor or p.arity != g.arity:
+            return None
+        stack.extend(zip(p.args, g.args))
+    return out
+
+
+def compose(first: Substitution, second: Substitution) -> Substitution:
+    """The substitution equivalent to applying *first*, then *second*."""
+    out: Substitution = {v: apply(t, second) for v, t in first.items()}
+    for v, t in second.items():
+        out.setdefault(v, t)
+    return out
+
+
+def restrict(subst: Substitution, keep: Iterable[Variable]) -> Substitution:
+    """Project *subst* onto the variables in *keep*."""
+    keep_set = set(keep)
+    return {v: t for v, t in subst.items() if v in keep_set}
+
+
+def is_renaming(subst: Substitution) -> bool:
+    """True iff *subst* maps distinct variables to distinct variables."""
+    targets = list(subst.values())
+    return all(isinstance(t, Variable) for t in targets) and len(set(targets)) == len(targets)
+
+
+def fresh_variables(terms: Iterable[Term], taken: set[str]) -> dict[Variable, Variable]:
+    """Build a renaming of every variable in *terms* to names not in *taken*.
+
+    Used when rule instances must be kept apart during resolution and by
+    the magic-set rewriting when it manufactures new rules.
+    """
+    mapping: dict[Variable, Variable] = {}
+    for term in terms:
+        for var in sorted(variables_of(term), key=lambda v: v.name):
+            if var in mapping:
+                continue
+            candidate = var.name
+            suffix = 0
+            while candidate in taken:
+                suffix += 1
+                candidate = f"{var.name}_{suffix}"
+            taken.add(candidate)
+            mapping[var] = Variable(candidate)
+    return mapping

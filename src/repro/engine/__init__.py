@@ -1,0 +1,41 @@
+"""The execution engine: operators, fixpoints, and the plan interpreter."""
+
+from .evaluable import compare_terms, eval_term, solve_comparison, term_sort_key
+from .fixpoint import EvaluationResult, FixpointEngine, evaluate_program
+from .interpreter import Interpreter, QueryAnswers
+from .operators import (
+    BindingsTable,
+    JOIN_METHODS,
+    Row,
+    apply_comparison,
+    head_rows,
+    negation_filter,
+    scan_join,
+    union_tables,
+)
+from .maintenance import ViewSet
+from .profiler import Profiler
+from .topdown import TopDownEngine
+
+__all__ = [
+    "BindingsTable",
+    "EvaluationResult",
+    "FixpointEngine",
+    "Interpreter",
+    "JOIN_METHODS",
+    "Profiler",
+    "QueryAnswers",
+    "Row",
+    "TopDownEngine",
+    "ViewSet",
+    "apply_comparison",
+    "compare_terms",
+    "eval_term",
+    "evaluate_program",
+    "head_rows",
+    "negation_filter",
+    "scan_join",
+    "solve_comparison",
+    "term_sort_key",
+    "union_tables",
+]

@@ -1,0 +1,348 @@
+"""Naive and semi-naive fixpoint evaluation of Horn-clause programs.
+
+This is the engine's reference evaluator: bottom-up, stratum by stratum
+(SCCs of the dependency graph in *follows* order, Section 2), with the
+classical delta-driven *semi-naive* iteration inside each recursive clique
+and plain *naive* re-evaluation available for comparison (it is one of the
+recursive methods the OPT algorithm may cost, and the ablation benchmark
+measures the difference).
+
+Rule bodies are executed left to right over :class:`BindingsTable`
+pipelines.  By default each body is first reordered by the greedy
+effective-computability order (:func:`repro.datalog.safety.exists_safe_order`)
+so evaluable predicates run only once their arguments are bound; the
+optimizer hands over bodies already in its chosen order, in which case
+reordering is disabled and the order is *trusted* — an unsafe order then
+raises :class:`~repro.errors.ExecutionError`, which is exactly the
+run-time behaviour the compile-time safety analysis exists to preclude.
+
+Termination guards (``max_iterations``, ``max_tuples``) bound runaway
+fixpoints of unsafe programs; hitting a guard raises — the run-time
+manifestation of the paper's "infinite cost".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping, Sequence
+
+from ..datalog.graph import DependencyGraph
+from ..datalog.literals import Literal, PredicateRef, pred_ref
+from ..datalog.rules import Program, Rule
+from ..datalog.safety import exists_safe_order
+from ..errors import ExecutionError
+from ..storage.catalog import Database
+from .operators import (
+    BindingsTable,
+    Row,
+    aggregate_rows,
+    apply_comparison,
+    head_rows,
+    negation_filter,
+    scan_join,
+)
+from .profiler import Profiler
+
+#: Chooses the join method for a body literal; default is hash everywhere.
+MethodChooser = Callable[[Literal], str]
+
+
+def _default_method(literal: Literal) -> str:
+    # Index joins keep a persistent index on base relations, which matters
+    # across the many rounds of a fixpoint; derived extensions fall back to
+    # per-call hash builds inside scan_join.
+    return "index"
+
+
+@dataclass
+class EvaluationResult:
+    """The outcome of a fixpoint evaluation."""
+
+    relations: dict[str, frozenset[Row]]
+    iterations: int
+    profiler: Profiler
+
+    def rows(self, predicate: str) -> frozenset[Row]:
+        return self.relations.get(predicate, frozenset())
+
+    def __getitem__(self, predicate: str) -> frozenset[Row]:
+        return self.rows(predicate)
+
+
+class FixpointEngine:
+    """Bottom-up evaluator for a program over a database.
+
+    Parameters
+    ----------
+    db:
+        The fact base; base predicates scan its relations.
+    profiler:
+        Work counters; a fresh one is created if omitted.
+    max_iterations / max_tuples:
+        Termination guards per recursive clique / per evaluation.
+    method_chooser:
+        Join method per literal (EL label); defaults to hash joins.
+    reorder_bodies:
+        When True (default) bodies are reordered by the greedy EC order
+        before execution; when False the given order is trusted.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        profiler: Profiler | None = None,
+        max_iterations: int = 100_000,
+        max_tuples: int = 5_000_000,
+        method_chooser: MethodChooser | None = None,
+        reorder_bodies: bool = True,
+        builtins: "BuiltinRegistry | None" = None,
+    ):
+        from ..datalog.builtins import builtin_oracle
+
+        self.db = db
+        self.profiler = profiler or Profiler()
+        self.max_iterations = max_iterations
+        self.max_tuples = max_tuples
+        self.method_chooser = method_chooser or _default_method
+        self.reorder_bodies = reorder_bodies
+        self.builtins = builtins
+        self._oracle = builtin_oracle(builtins)
+
+    # -- extensions ----------------------------------------------------------
+
+    def _extension(
+        self,
+        literal: Literal,
+        workspace: Mapping[str, set[Row]],
+        derived: frozenset[PredicateRef],
+    ) -> Iterable[Row]:
+        name = literal.predicate
+        if name in workspace:
+            return workspace[name]
+        if pred_ref(literal) in derived:
+            # Derived but not yet computed (later stratum would be a bug;
+            # same-stratum preds always have a workspace entry).
+            return frozenset()
+        relation = self.db.get(name)
+        if relation is not None:
+            if relation.arity != literal.arity:
+                raise ExecutionError(
+                    f"literal {literal} has arity {literal.arity}, relation has {relation.arity}"
+                )
+            return relation
+        raise ExecutionError(f"unknown predicate {name!r} (no rules, no relation, no seed)")
+
+    # -- rule bodies -----------------------------------------------------------
+
+    def _ordered_body(self, rule: Rule) -> tuple[Literal, ...]:
+        if not self.reorder_bodies:
+            return rule.body
+        order, reasons = exists_safe_order(rule.body, frozenset(), self._oracle)
+        if order is None:
+            raise ExecutionError(
+                f"no effectively computable order for rule '{rule}': " + "; ".join(reasons)
+            )
+        return tuple(rule.body[i] for i in order)
+
+    def _eval_body(
+        self,
+        body: Sequence[Literal],
+        workspace: Mapping[str, set[Row]],
+        derived: frozenset[PredicateRef],
+        delta_literal: int | None = None,
+        delta_rows: Iterable[Row] | None = None,
+    ) -> BindingsTable:
+        table = BindingsTable.unit()
+        for position, literal in enumerate(body):
+            if not table.rows:
+                return table
+            if literal.is_comparison:
+                table = apply_comparison(table, literal, self.profiler)
+                continue
+            if literal.negated:
+                extension = self._extension(literal.positive(), workspace, derived)
+                rows = extension.rows if hasattr(extension, "rows") else extension
+                table = negation_filter(table, literal.positive(), rows, self.profiler)
+                continue
+            if self.builtins is not None and literal.predicate in self.builtins:
+                builtin = self.builtins.get(literal.predicate)
+                if builtin is not None and builtin.arity == literal.arity:
+                    from .operators import builtin_join
+
+                    table = builtin_join(table, literal, builtin, self.profiler)
+                    continue
+            if position == delta_literal and delta_rows is not None:
+                extension = delta_rows
+                method = "hash"
+            else:
+                extension = self._extension(literal, workspace, derived)
+                method = self.method_chooser(literal)
+            table = scan_join(table, literal, extension, method, self.profiler)
+        return table
+
+    def _eval_rule(
+        self,
+        rule: Rule,
+        workspace: Mapping[str, set[Row]],
+        derived: frozenset[PredicateRef],
+        delta_literal: int | None = None,
+        delta_rows: Iterable[Row] | None = None,
+    ) -> set[Row]:
+        body = self._ordered_body(rule)
+        if delta_literal is not None:
+            # Map the delta position from original body order to the
+            # reordered body.
+            target = rule.body[delta_literal]
+            positions = [i for i, l in enumerate(body) if l is target]
+            delta_position = positions[0] if positions else delta_literal
+        else:
+            delta_position = None
+        table = self._eval_body(body, workspace, derived, delta_position, delta_rows)
+        if rule.is_aggregate:
+            return aggregate_rows(table, rule.head, self.profiler)
+        return head_rows(table, rule.head, self.profiler)
+
+    # -- the fixpoint ------------------------------------------------------------
+
+    def evaluate(
+        self,
+        program: Program,
+        seeds: Mapping[str, Iterable[Row]] | None = None,
+        naive: bool = False,
+    ) -> EvaluationResult:
+        """Compute all derived relations of *program*.
+
+        *seeds* pre-populates derived-style relations (magic/counting
+        seeds).  With ``naive=True`` recursive cliques use naive
+        re-evaluation instead of semi-naive deltas.
+        """
+        graph = DependencyGraph(program)
+        graph.check_stratified()
+        derived = program.derived_predicates
+
+        workspace: dict[str, set[Row]] = {}
+        for name, rows in (seeds or {}).items():
+            workspace[name] = set(tuple(r) for r in rows)
+
+        total_iterations = 0
+        for component in graph.evaluation_order():
+            component_rules = [r for r in program if r.head_ref in component]
+            if not component_rules:
+                continue  # base-only component
+            recursive = any(
+                ref in component for rule in component_rules for ref in rule.body_refs
+            )
+            for ref in component:
+                workspace.setdefault(ref.name, set())
+            if not recursive:
+                for rule in component_rules:
+                    rows = self._eval_rule(rule, workspace, derived)
+                    workspace[rule.head.predicate].update(rows)
+                continue
+            iterations = (
+                self._naive_clique(component_rules, component, workspace, derived)
+                if naive
+                else self._seminaive_clique(component_rules, component, workspace, derived)
+            )
+            total_iterations += iterations
+
+        self.profiler.bump_iterations(total_iterations)
+        return EvaluationResult(
+            relations={name: frozenset(rows) for name, rows in workspace.items()},
+            iterations=total_iterations,
+            profiler=self.profiler,
+        )
+
+    # -- clique strategies ---------------------------------------------------
+
+    def _check_guards(self, iterations: int, workspace: Mapping[str, set[Row]]) -> None:
+        if iterations > self.max_iterations:
+            raise ExecutionError(
+                f"fixpoint exceeded {self.max_iterations} iterations — "
+                "runaway recursion (unsafe execution)"
+            )
+        total = sum(len(rows) for rows in workspace.values())
+        if total > self.max_tuples:
+            raise ExecutionError(
+                f"fixpoint exceeded {self.max_tuples} tuples — "
+                "runaway recursion (unsafe execution)"
+            )
+
+    def _seminaive_clique(
+        self,
+        rules: Sequence[Rule],
+        component: frozenset[PredicateRef],
+        workspace: dict[str, set[Row]],
+        derived: frozenset[PredicateRef],
+    ) -> int:
+        names = {ref.name for ref in component}
+        delta: dict[str, set[Row]] = {name: set() for name in names}
+
+        # Round 0: all rules against the current workspace (exit rules fire;
+        # seeds participate).
+        for rule in rules:
+            for row in self._eval_rule(rule, workspace, derived):
+                if row not in workspace[rule.head.predicate]:
+                    workspace[rule.head.predicate].add(row)
+                    delta[rule.head.predicate].add(row)
+
+        iterations = 1
+        while any(delta.values()):
+            self._check_guards(iterations, workspace)
+            new_delta: dict[str, set[Row]] = {name: set() for name in names}
+            for rule in rules:
+                clique_positions = [
+                    i
+                    for i, literal in enumerate(rule.body)
+                    if not literal.is_comparison
+                    and not literal.negated
+                    and literal.predicate in names
+                ]
+                for position in clique_positions:
+                    delta_rows = delta.get(rule.body[position].predicate, set())
+                    if not delta_rows:
+                        continue
+                    rows = self._eval_rule(rule, workspace, derived, position, delta_rows)
+                    head_name = rule.head.predicate
+                    for row in rows:
+                        if row not in workspace[head_name]:
+                            workspace[head_name].add(row)
+                            new_delta[head_name].add(row)
+            delta = new_delta
+            iterations += 1
+        return iterations
+
+    def _naive_clique(
+        self,
+        rules: Sequence[Rule],
+        component: frozenset[PredicateRef],
+        workspace: dict[str, set[Row]],
+        derived: frozenset[PredicateRef],
+    ) -> int:
+        iterations = 0
+        changed = True
+        while changed:
+            iterations += 1
+            self._check_guards(iterations, workspace)
+            changed = False
+            for rule in rules:
+                rows = self._eval_rule(rule, workspace, derived)
+                head_name = rule.head.predicate
+                before = len(workspace[head_name])
+                workspace[head_name].update(rows)
+                if len(workspace[head_name]) != before:
+                    changed = True
+        return iterations
+
+
+def evaluate_program(
+    db: Database,
+    program: Program,
+    seeds: Mapping[str, Iterable[Row]] | None = None,
+    naive: bool = False,
+    profiler: Profiler | None = None,
+    **engine_kwargs,
+) -> EvaluationResult:
+    """One-shot convenience wrapper around :class:`FixpointEngine`."""
+    engine = FixpointEngine(db, profiler=profiler, **engine_kwargs)
+    return engine.evaluate(program, seeds=seeds, naive=naive)

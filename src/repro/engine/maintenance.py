@@ -1,0 +1,270 @@
+"""Incremental maintenance of materialized views (insertions + DRed).
+
+LDL includes updates among its constructs ([NK] in the paper's
+references); the natural companion on the evaluation side is keeping a
+materialized derived relation consistent under fact insertions and
+deletions without recomputation:
+
+* **insertions** — classical delta propagation: each inserted tuple is a
+  delta; every rule fires once per delta-carrying body position against
+  (stored ∪ new) extensions, semi-naive style, until no new derived
+  tuples appear;
+* **deletions** — DRed (delete-and-rederive): propagate deletions as an
+  over-approximation (any derivation using a deleted tuple is suspect),
+  remove the over-deleted set, then re-derive from what remains and put
+  back everything that still has a derivation.
+
+Restrictions: the maintained program must be negation- and
+aggregation-free (their incremental maintenance needs stratified
+recomputation, which defeats the purpose here); built-ins are allowed.
+:class:`ViewSet` enforces this at materialization time.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from ..datalog.builtins import BuiltinRegistry, builtin_oracle
+from ..datalog.graph import DependencyGraph
+from ..datalog.literals import Literal
+from ..datalog.rules import Program, Rule
+from ..datalog.safety import exists_safe_order
+from ..errors import KnowledgeBaseError
+from ..storage.catalog import Database
+from .operators import (
+    BindingsTable,
+    Row,
+    apply_comparison,
+    builtin_join,
+    head_rows,
+    scan_join,
+)
+from .profiler import Profiler
+
+
+class ViewSet:
+    """Materialized extensions of derived predicates, kept incrementally
+    consistent with the fact base."""
+
+    def __init__(
+        self,
+        db: Database,
+        program: Program,
+        builtins: BuiltinRegistry | None = None,
+        profiler: Profiler | None = None,
+    ):
+        self.db = db
+        self.program = program
+        self.builtins = builtins
+        self.profiler = profiler or Profiler()
+        self._stored: dict[str, set[Row]] = {}
+        self._rules: list[Rule] = []
+        self._validate_and_collect()
+
+    # ------------------------------------------------------------ set-up
+
+    def _validate_and_collect(self) -> None:
+        for rule in self.program:
+            if rule.is_aggregate:
+                raise KnowledgeBaseError(
+                    "incremental maintenance does not support aggregate rules"
+                )
+            for literal in rule.body:
+                if literal.negated:
+                    raise KnowledgeBaseError(
+                        "incremental maintenance does not support negation"
+                    )
+        graph = DependencyGraph(self.program)
+        graph.check_stratified()
+        self._rules = list(self.program)
+
+    def materialize(self) -> None:
+        """Compute every derived predicate's extension from scratch."""
+        from .fixpoint import evaluate_program
+
+        result = evaluate_program(
+            self.db, self.program, profiler=self.profiler, builtins=self.builtins
+        )
+        self._stored = {
+            ref.name: set(result.rows(ref.name))
+            for ref in self.program.derived_predicates
+        }
+
+    # ------------------------------------------------------------ access
+
+    def rows(self, predicate: str) -> frozenset[Row]:
+        return frozenset(self._stored.get(predicate, set()))
+
+    def __contains__(self, predicate: str) -> bool:
+        return predicate in self._stored
+
+    # -------------------------------------------------------- rule firing
+
+    def _extension(self, literal: Literal, overrides: Mapping[str, Iterable[Row]]):
+        name = literal.predicate
+        if name in overrides:
+            return overrides[name]
+        if name in self._stored:
+            return self._stored[name]
+        relation = self.db.get(name)
+        if relation is not None:
+            return relation
+        return frozenset()
+
+    def _fire_rule(
+        self,
+        rule: Rule,
+        delta_name: str,
+        delta_rows: Iterable[Row],
+        removed: Mapping[str, set[Row]] | None = None,
+    ) -> set[Row]:
+        """Head tuples derivable with *delta_name*'s delta at one of its
+        occurrences; *removed* masks tuples treated as already gone."""
+        oracle = builtin_oracle(self.builtins)
+        order, __ = exists_safe_order(rule.body, frozenset(), oracle)
+        if order is None:  # pragma: no cover - validated earlier
+            raise KnowledgeBaseError(f"rule '{rule}' has no safe order")
+        body = [rule.body[i] for i in order]
+
+        positions = [
+            index
+            for index, literal in enumerate(body)
+            if not literal.is_comparison and literal.predicate == delta_name
+        ]
+        out: set[Row] = set()
+        for delta_position in positions:
+            table = BindingsTable.unit()
+            for index, literal in enumerate(body):
+                if not table.rows:
+                    break
+                if literal.is_comparison:
+                    table = apply_comparison(table, literal, self.profiler)
+                    continue
+                if self.builtins is not None and literal.predicate in self.builtins:
+                    builtin = self.builtins.get(literal.predicate)
+                    if builtin is not None and builtin.arity == literal.arity:
+                        table = builtin_join(table, literal, builtin, self.profiler)
+                        continue
+                if index == delta_position:
+                    extension: Iterable[Row] = delta_rows
+                else:
+                    extension = self._extension(literal, {})
+                    if removed and literal.predicate in removed:
+                        extension = set(extension) - removed[literal.predicate]
+                table = scan_join(table, literal, extension, "hash", self.profiler)
+            out |= head_rows(table, rule.head, self.profiler)
+        return out
+
+    # --------------------------------------------------------- insertions
+
+    def insert(self, base_name: str, rows: Iterable[Row]) -> dict[str, set[Row]]:
+        """Propagate base-fact insertions; returns the derived deltas.
+
+        The base tuples must already be present in the database (the
+        caller inserts them first); this routine only updates the views.
+        """
+        deltas: dict[str, set[Row]] = {base_name: set(rows)}
+        derived_new: dict[str, set[Row]] = {}
+        while deltas:
+            next_deltas: dict[str, set[Row]] = {}
+            for rule in self._rules:
+                head = rule.head.predicate
+                for delta_name, delta_rows in deltas.items():
+                    if not delta_rows:
+                        continue
+                    if all(
+                        l.is_comparison or l.predicate != delta_name for l in rule.body
+                    ):
+                        continue
+                    produced = self._fire_rule(rule, delta_name, delta_rows)
+                    fresh = produced - self._stored.setdefault(head, set())
+                    if fresh:
+                        self._stored[head] |= fresh
+                        derived_new.setdefault(head, set()).update(fresh)
+                        next_deltas.setdefault(head, set()).update(fresh)
+            deltas = next_deltas
+        return derived_new
+
+    # ---------------------------------------------------------- deletions
+
+    def delete(self, base_name: str, rows: Iterable[Row]) -> dict[str, set[Row]]:
+        """DRed: propagate base-fact deletions; returns the net removals.
+
+        The base tuples must already be removed from the database; this
+        routine over-deletes every derived tuple with a derivation
+        through them, then re-derives the survivors.
+        """
+        # Phase 1 — over-delete.  A deleted tuple may invalidate any
+        # derivation that used it: fire delta rules with the deletions,
+        # masking nothing (the deleted base rows are already gone from
+        # the database, and over-deletion is allowed to over-approximate).
+        over: dict[str, set[Row]] = {}
+        deltas: dict[str, set[Row]] = {base_name: set(rows)}
+        while deltas:
+            next_deltas: dict[str, set[Row]] = {}
+            for rule in self._rules:
+                head = rule.head.predicate
+                for delta_name, delta_rows in deltas.items():
+                    if not delta_rows:
+                        continue
+                    if all(
+                        l.is_comparison or l.predicate != delta_name for l in rule.body
+                    ):
+                        continue
+                    # candidate invalidated derivations: delta at one spot,
+                    # pre-deletion extensions elsewhere (stored still holds them)
+                    produced = self._fire_rule(rule, delta_name, delta_rows)
+                    candidates = produced & self._stored.get(head, set())
+                    fresh = candidates - over.get(head, set())
+                    if fresh:
+                        over.setdefault(head, set()).update(fresh)
+                        next_deltas.setdefault(head, set()).update(fresh)
+            deltas = next_deltas
+
+        for name, gone in over.items():
+            self._stored[name] -= gone
+
+        # Phase 2 — re-derive survivors from what remains.
+        changed = True
+        rederived: dict[str, set[Row]] = {}
+        while changed:
+            changed = False
+            for rule in self._rules:
+                head = rule.head.predicate
+                candidates = over.get(head)
+                if not candidates:
+                    continue
+                survivors = self._derivable(rule) & candidates
+                fresh = survivors - self._stored.get(head, set())
+                if fresh:
+                    self._stored.setdefault(head, set()).update(fresh)
+                    rederived.setdefault(head, set()).update(fresh)
+                    changed = True
+
+        net: dict[str, set[Row]] = {}
+        for name, gone in over.items():
+            really_gone = gone - rederived.get(name, set())
+            if really_gone:
+                net[name] = really_gone
+        return net
+
+    def _derivable(self, rule: Rule) -> set[Row]:
+        """All head tuples of *rule* under the current stored/base state."""
+        oracle = builtin_oracle(self.builtins)
+        order, __ = exists_safe_order(rule.body, frozenset(), oracle)
+        assert order is not None
+        body = [rule.body[i] for i in order]
+        table = BindingsTable.unit()
+        for literal in body:
+            if not table.rows:
+                return set()
+            if literal.is_comparison:
+                table = apply_comparison(table, literal, self.profiler)
+                continue
+            if self.builtins is not None and literal.predicate in self.builtins:
+                builtin = self.builtins.get(literal.predicate)
+                if builtin is not None and builtin.arity == literal.arity:
+                    table = builtin_join(table, literal, builtin, self.profiler)
+                    continue
+            table = scan_join(table, literal, self._extension(literal, {}), "hash", self.profiler)
+        return head_rows(table, rule.head, self.profiler)

@@ -1,0 +1,526 @@
+"""Physical operators over bindings tables.
+
+The engine "relationalizes" logic evaluation: the intermediate state of a
+rule body being executed left to right is a :class:`BindingsTable` — a
+relation whose schema is a tuple of *variables* and whose rows are ground
+instantiations of them.  Each body literal extends the table:
+
+* a positive literal joins the table with its predicate's extension
+  (:func:`scan_join`) — this one operator realizes the paper's join
+  methods (the EL labels): ``nested_loop``, ``hash``, ``index`` and
+  ``merge``;
+* a comparison filters rows, and ``=`` can extend the schema with newly
+  bound variables (:func:`apply_comparison`);
+* a negated literal filters by non-membership (:func:`negation_filter`).
+
+Pipelining vs. materialization (the MP transformation) is a property of
+*how* these operators are composed, decided by the processing tree — a
+pipelined subtree is evaluated per input row via the bindings it implies,
+a materialized one is computed once with an empty bindings context.
+
+All operators charge their tuple traffic to a :class:`Profiler`, which is
+how benchmarks observe "measured cost".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from ..datalog.literals import Literal
+from ..datalog.terms import Term, Variable, is_ground, variables_of
+from ..datalog.unify import Substitution, apply, match
+from ..errors import ExecutionError
+from .evaluable import solve_comparison, term_sort_key
+from .profiler import Profiler
+
+Row = tuple[Term, ...]
+
+#: Join method names — the engine's available EL labels.
+JOIN_METHODS = ("nested_loop", "hash", "index", "merge")
+
+
+@dataclass(frozen=True, slots=True)
+class BindingsTable:
+    """A set of ground rows under a variable schema."""
+
+    schema: tuple[Variable, ...]
+    rows: frozenset[Row]
+
+    @classmethod
+    def unit(cls) -> "BindingsTable":
+        """The empty-schema table with one row: the join identity."""
+        return cls((), frozenset({()}))
+
+    @classmethod
+    def empty(cls, schema: tuple[Variable, ...] = ()) -> "BindingsTable":
+        return cls(schema, frozenset())
+
+    @classmethod
+    def from_rows(cls, schema: Sequence[Variable], rows: Iterable[Row]) -> "BindingsTable":
+        return cls(tuple(schema), frozenset(rows))
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def substitutions(self) -> Iterable[Substitution]:
+        """Each row as a substitution dict."""
+        for row in self.rows:
+            yield dict(zip(self.schema, row))
+
+    def project(self, variables: Sequence[Variable]) -> "BindingsTable":
+        """Keep only *variables* (duplicates collapse — set semantics)."""
+        positions = [self.schema.index(v) for v in variables]
+        rows = frozenset(tuple(row[p] for p in positions) for row in self.rows)
+        return BindingsTable(tuple(variables), rows)
+
+
+def _literal_vars_in_order(literal: Literal) -> list[Variable]:
+    out: list[Variable] = []
+    for arg in literal.args:
+        for var in _vars_in_order(arg):
+            if var not in out:
+                out.append(var)
+    return out
+
+
+def _vars_in_order(term: Term) -> list[Variable]:
+    if isinstance(term, Variable):
+        return [term]
+    if hasattr(term, "args"):
+        out: list[Variable] = []
+        for arg in term.args:  # type: ignore[union-attr]
+            for var in _vars_in_order(arg):
+                if var not in out:
+                    out.append(var)
+        return out
+    return []
+
+
+def scan_join(
+    table: BindingsTable,
+    literal: Literal,
+    extension: Iterable[Row],
+    method: str = "hash",
+    profiler: Profiler | None = None,
+    label: str = "",
+) -> BindingsTable:
+    """Join *table* with the extension of *literal*'s predicate.
+
+    *extension* is the set of ground tuples currently known for the
+    predicate (a base relation's rows or a derived predicate's partial
+    result).  The output schema is the input schema extended with the
+    literal's not-yet-bound variables, in first-occurrence order.
+
+    ``method`` selects the physical algorithm:
+
+    * ``nested_loop`` — every input row examines every extension tuple;
+    * ``hash`` — build a hash table on the literal's bound argument
+      positions once, probe per input row;
+    * ``index`` — like hash, but the caller passes a pre-built
+      :class:`~repro.storage.index.HashIndex`-backed lookup via
+      *extension* being a :class:`~repro.storage.relation.Relation`
+      (falls back to ``hash`` otherwise);
+    * ``merge`` — sort both sides on the bound key and merge.
+
+    All methods produce identical results; they differ in the work
+    profile, which is the point of the EL transformation.
+    """
+    profiler = profiler or Profiler()
+    if method not in JOIN_METHODS:
+        raise ExecutionError(f"unknown join method {method!r}")
+
+    schema_set = set(table.schema)
+    new_vars = [v for v in _literal_vars_in_order(literal) if v not in schema_set]
+    out_schema = table.schema + tuple(new_vars)
+
+    bound_positions = tuple(
+        i for i, arg in enumerate(literal.args) if variables_of(arg) <= schema_set
+    )
+    free_positions = tuple(i for i in range(literal.arity) if i not in bound_positions)
+
+    # Materialize the extension rows once (it may be a generator).
+    from ..storage.relation import Relation  # local: storage must not import engine
+
+    relation: Relation | None = extension if isinstance(extension, Relation) else None
+    if method == "index" and relation is not None:
+        index = relation.ensure_index(bound_positions)
+        buckets: Mapping[tuple[Term, ...], Iterable[Row]] | None = None
+        ext_rows: list[Row] | None = None
+    else:
+        ext_rows = list(extension)
+        index = None
+        buckets = None
+        if method in ("hash", "index"):
+            built: dict[tuple[Term, ...], list[Row]] = {}
+            for row in ext_rows:
+                built.setdefault(tuple(row[i] for i in bound_positions), []).append(row)
+            buckets = built
+            profiler.bump_examined(len(ext_rows))  # build side read once
+
+    out_rows: set[Row] = set()
+
+    def emit(subst: Substitution, base_row: Row) -> None:
+        extra = []
+        for var in new_vars:
+            value = subst.get(var)
+            if value is None or not is_ground(value):
+                raise ExecutionError(
+                    f"literal {literal} left variable {var} unbound (unsafe execution)"
+                )
+            extra.append(value)
+        out_rows.add(base_row + tuple(extra))
+
+    if method == "merge":
+        assert ext_rows is not None
+        return _merge_join(
+            table, literal, ext_rows, bound_positions, out_schema, new_vars, profiler
+        )
+
+    for base_row in table.rows:
+        subst: Substitution = dict(zip(table.schema, base_row))
+        applied = [apply(arg, subst) for arg in literal.args]
+        key = tuple(applied[i] for i in bound_positions)
+        if index is not None:
+            candidates: Iterable[Row] = index.get(key)
+            profiler.bump_probes()
+        elif buckets is not None:
+            candidates = buckets.get(key, ())
+            profiler.bump_probes()
+        else:
+            assert ext_rows is not None
+            candidates = ext_rows
+        for tuple_row in candidates:
+            profiler.bump_examined()
+            extended = _match_free(applied, tuple_row, free_positions, subst)
+            if extended is not None:
+                emit(extended, base_row)
+
+    profiler.bump_produced(len(out_rows))
+    if label:
+        profiler.charge(label, len(out_rows))
+    return BindingsTable(out_schema, frozenset(out_rows))
+
+
+def _match_free(
+    applied: Sequence[Term],
+    tuple_row: Row,
+    free_positions: Sequence[int],
+    subst: Substitution,
+) -> Substitution | None:
+    """Match the not-fully-bound argument positions against a stored tuple.
+
+    Bound positions are known equal when reached via a key lookup, but a
+    nested-loop scan must verify them too — so *all* positions are
+    checked here (match on a ground pair is just an equality test).
+    """
+    out = subst
+    for position, (pattern, value) in enumerate(zip(applied, tuple_row)):
+        if position in free_positions:
+            out = match(pattern, value, out)
+            if out is None:
+                return None
+        elif pattern != value:
+            return None
+    return out
+
+
+def _merge_join(
+    table: BindingsTable,
+    literal: Literal,
+    ext_rows: list[Row],
+    bound_positions: tuple[int, ...],
+    out_schema: tuple[Variable, ...],
+    new_vars: list[Variable],
+    profiler: Profiler,
+) -> BindingsTable:
+    """Sort-merge implementation of :func:`scan_join`."""
+    free_positions = tuple(i for i in range(len(literal.args)) if i not in bound_positions)
+
+    keyed_inputs: list[tuple[tuple, Row, Substitution, list[Term]]] = []
+    for base_row in table.rows:
+        subst: Substitution = dict(zip(table.schema, base_row))
+        applied = [apply(arg, subst) for arg in literal.args]
+        key = tuple(term_sort_key(applied[i]) for i in bound_positions)
+        keyed_inputs.append((key, base_row, subst, applied))
+    keyed_ext = sorted(
+        ((tuple(term_sort_key(row[i]) for i in bound_positions), row) for row in ext_rows),
+        key=lambda pair: pair[0],
+    )
+    keyed_inputs.sort(key=lambda item: item[0])
+    profiler.bump_examined(len(keyed_ext) + len(keyed_inputs))  # the sorting passes
+
+    out_rows: set[Row] = set()
+    left = 0
+    right = 0
+    while left < len(keyed_inputs) and right < len(keyed_ext):
+        lkey = keyed_inputs[left][0]
+        rkey = keyed_ext[right][0]
+        if lkey < rkey:
+            left += 1
+            continue
+        if lkey > rkey:
+            right += 1
+            continue
+        right_end = right
+        while right_end < len(keyed_ext) and keyed_ext[right_end][0] == rkey:
+            right_end += 1
+        left_end = left
+        while left_end < len(keyed_inputs) and keyed_inputs[left_end][0] == lkey:
+            left_end += 1
+        for __, base_row, subst, applied in keyed_inputs[left:left_end]:
+            for ___, tuple_row in keyed_ext[right:right_end]:
+                profiler.bump_examined()
+                extended = _match_free(applied, tuple_row, free_positions, subst)
+                if extended is not None:
+                    extra = []
+                    ok = True
+                    for var in new_vars:
+                        value = extended.get(var)
+                        if value is None or not is_ground(value):
+                            raise ExecutionError(
+                                f"literal {literal} left variable {var} unbound"
+                            )
+                        extra.append(value)
+                    if ok:
+                        out_rows.add(base_row + tuple(extra))
+        left = left_end
+        right = right_end
+
+    profiler.bump_produced(len(out_rows))
+    return BindingsTable(out_schema, frozenset(out_rows))
+
+
+def builtin_join(
+    table: BindingsTable,
+    literal: Literal,
+    builtin,
+    profiler: Profiler | None = None,
+) -> BindingsTable:
+    """Join with a built-in (infinite) predicate by per-row evaluation.
+
+    Built-ins have no stored extension, so the only execution is the
+    bind-join: for each input row, check a declared mode is satisfied,
+    call the evaluator, and match the produced ground tuples against the
+    (substituted) argument patterns.
+    """
+    from ..datalog.bindings import BindingPattern
+
+    profiler = profiler or Profiler()
+    schema_set = set(table.schema)
+    new_vars = [v for v in _literal_vars_in_order(literal) if v not in schema_set]
+    out_schema = table.schema + tuple(new_vars)
+
+    out_rows: set[Row] = set()
+    for base_row in table.rows:
+        subst: Substitution = dict(zip(table.schema, base_row))
+        applied = tuple(apply(arg, subst) for arg in literal.args)
+        adornment = BindingPattern(
+            "".join("b" if is_ground(arg) else "f" for arg in applied)
+        )
+        if builtin.satisfied_mode(adornment) is None:
+            raise ExecutionError(
+                f"builtin {literal} entered with adornment {adornment}, "
+                f"no declared mode satisfied (unsafe execution)"
+            )
+        profiler.bump_probes()
+        for produced in builtin.evaluate(applied):
+            profiler.bump_examined()
+            extended = subst
+            ok = True
+            for pattern, value in zip(applied, produced):
+                extended = match(pattern, value, extended)
+                if extended is None:
+                    ok = False
+                    break
+            if not ok:
+                continue
+            extra = []
+            for var in new_vars:
+                value = extended.get(var)
+                if value is None or not is_ground(value):
+                    raise ExecutionError(
+                        f"builtin {literal} left variable {var} unbound"
+                    )
+                extra.append(value)
+            out_rows.add(base_row + tuple(extra))
+    profiler.bump_produced(len(out_rows))
+    return BindingsTable(out_schema, frozenset(out_rows))
+
+
+def apply_comparison(
+    table: BindingsTable,
+    literal: Literal,
+    profiler: Profiler | None = None,
+) -> BindingsTable:
+    """Execute a comparison literal against every row.
+
+    ``=`` may bind new variables, extending the schema; ordering
+    comparisons only filter.
+    """
+    profiler = profiler or Profiler()
+    new_vars: list[Variable] = []
+    schema_set = set(table.schema)
+    for var in _literal_vars_in_order(literal):
+        if var not in schema_set:
+            new_vars.append(var)
+    out_schema = table.schema + tuple(new_vars)
+
+    out_rows: set[Row] = set()
+    for row in table.rows:
+        profiler.bump_examined()
+        subst: Substitution = dict(zip(table.schema, row))
+        solved = solve_comparison(literal, subst)
+        if solved is None:
+            continue
+        extra = []
+        for var in new_vars:
+            value = solved.get(var)
+            if value is None or not is_ground(value):
+                raise ExecutionError(
+                    f"comparison {literal} left variable {var} unbound (unsafe execution)"
+                )
+            extra.append(apply(value, solved))
+        out_rows.add(row + tuple(extra))
+    profiler.bump_produced(len(out_rows))
+    return BindingsTable(out_schema, frozenset(out_rows))
+
+
+def negation_filter(
+    table: BindingsTable,
+    literal: Literal,
+    extension: Iterable[Row],
+    profiler: Profiler | None = None,
+) -> BindingsTable:
+    """Keep rows for which the (fully bound) negated literal has no match."""
+    profiler = profiler or Profiler()
+    ext_rows = extension if isinstance(extension, (set, frozenset)) else set(extension)
+    out_rows: set[Row] = set()
+    for row in table.rows:
+        profiler.bump_examined()
+        subst: Substitution = dict(zip(table.schema, row))
+        applied = tuple(apply(arg, subst) for arg in literal.args)
+        for arg in applied:
+            if not is_ground(arg):
+                raise ExecutionError(
+                    f"negated literal {literal} entered with unbound arguments (unsafe)"
+                )
+        if applied not in ext_rows:
+            out_rows.add(row)
+    profiler.bump_produced(len(out_rows))
+    return BindingsTable(table.schema, frozenset(out_rows))
+
+
+def union_tables(tables: Sequence[BindingsTable], profiler: Profiler | None = None) -> BindingsTable:
+    """Union bindings tables, aligning columns by variable name."""
+    profiler = profiler or Profiler()
+    tables = [t for t in tables if t.schema or t.rows]
+    if not tables:
+        return BindingsTable.empty()
+    schema = tables[0].schema
+    out_rows: set[Row] = set()
+    for table in tables:
+        if set(table.schema) != set(schema):
+            raise ExecutionError(
+                f"union over incompatible schemas {table.schema} vs {schema}"
+            )
+        positions = [table.schema.index(v) for v in schema]
+        for row in table.rows:
+            profiler.bump_examined()
+            out_rows.add(tuple(row[p] for p in positions))
+    profiler.bump_produced(len(out_rows))
+    return BindingsTable(schema, frozenset(out_rows))
+
+
+def aggregate_rows(
+    table: BindingsTable,
+    head: Literal,
+    profiler: Profiler | None = None,
+) -> set[Row]:
+    """Instantiate an *aggregate* head: group-by plain arguments,
+    aggregate the wrapped variables over the rule's distinct derivations.
+
+    Each distinct bindings-table row is one derivation; ``count(X)``
+    counts derivations per group, ``sum``/``min_of``/``max_of``/``avg``
+    fold the wrapped variable's (numeric) values.
+    """
+    from ..datalog.rules import aggregate_spec
+    from .evaluable import term_sort_key
+
+    profiler = profiler or Profiler()
+    specs = [aggregate_spec(arg) for arg in head.args]
+    group_positions = [i for i, spec in enumerate(specs) if spec is None]
+
+    groups: dict[tuple[Term, ...], list[Substitution]] = {}
+    for subst in table.substitutions():
+        key = []
+        for position in group_positions:
+            value = apply(head.args[position], subst)
+            if not is_ground(value):
+                raise ExecutionError(
+                    f"aggregate head {head}: group argument unbound (unsafe execution)"
+                )
+            key.append(value)
+        groups.setdefault(tuple(key), []).append(subst)
+        profiler.bump_examined()
+
+    def numeric(value: Term, functor: str) -> float:
+        from ..datalog.terms import Constant
+
+        if isinstance(value, Constant) and isinstance(value.value, (int, float)) and not isinstance(value.value, bool):
+            return value.value
+        raise ExecutionError(f"{functor} over non-numeric value {value}")
+
+    out: set[Row] = set()
+    for key, substs in groups.items():
+        row: list[Term] = []
+        key_iter = iter(key)
+        for position, spec in enumerate(specs):
+            if spec is None:
+                row.append(next(key_iter))
+                continue
+            functor, var = spec
+            values = []
+            for subst in substs:
+                value = subst.get(var)
+                if value is None or not is_ground(value):
+                    raise ExecutionError(
+                        f"aggregate {functor}({var}) over unbound variable"
+                    )
+                values.append(value)
+            from ..datalog.terms import Constant
+
+            if functor == "count":
+                row.append(Constant(len(values)))
+            elif functor == "sum":
+                row.append(Constant(sum(numeric(v, functor) for v in values)))
+            elif functor == "avg":
+                total = sum(numeric(v, functor) for v in values)
+                row.append(Constant(total / len(values)))
+            elif functor == "min_of":
+                row.append(min(values, key=term_sort_key))
+            else:  # max_of
+                row.append(max(values, key=term_sort_key))
+        out.add(tuple(row))
+    profiler.bump_produced(len(out))
+    return out
+
+
+def head_rows(
+    table: BindingsTable,
+    head: Literal,
+    profiler: Profiler | None = None,
+) -> set[Row]:
+    """Instantiate *head* for every row — the tuples a rule derives."""
+    profiler = profiler or Profiler()
+    out: set[Row] = set()
+    for subst in table.substitutions():
+        row = tuple(apply(arg, subst) for arg in head.args)
+        for field in row:
+            if not is_ground(field):
+                raise ExecutionError(
+                    f"rule head {head} not fully bound by body (unsafe execution)"
+                )
+        out.add(row)
+    profiler.bump_produced(len(out))
+    return out

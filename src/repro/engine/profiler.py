@@ -1,0 +1,63 @@
+"""Work counters for measured execution cost.
+
+The paper's cost formulae are estimates over an abstract "single cost"
+combining CPU, I/O, etc. (Section 6).  Our measured analogue is tuple
+traffic: how many stored/intermediate tuples each operator examined and
+produced.  Tuple counts are what the estimates predict, so estimate vs.
+measurement comparisons (EXP-7) are apples to apples, and they are
+deterministic — no wall-clock noise in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Profiler:
+    """Accumulates operator work counters during execution."""
+
+    examined: int = 0   #: tuples read from an operand (scan/probe results)
+    produced: int = 0   #: tuples emitted by operators
+    probes: int = 0     #: index/hash lookups performed
+    materialized: int = 0  #: tuples written to temporary relations
+    iterations: int = 0    #: fixpoint iterations executed
+    by_label: dict[str, int] = field(default_factory=dict)
+
+    def bump_examined(self, count: int = 1) -> None:
+        self.examined += count
+
+    def bump_produced(self, count: int = 1) -> None:
+        self.produced += count
+
+    def bump_probes(self, count: int = 1) -> None:
+        self.probes += count
+
+    def bump_materialized(self, count: int = 1) -> None:
+        self.materialized += count
+
+    def bump_iterations(self, count: int = 1) -> None:
+        self.iterations += count
+
+    def charge(self, label: str, count: int = 1) -> None:
+        """Attribute work to a named operator/phase (for explain output)."""
+        self.by_label[label] = self.by_label.get(label, 0) + count
+
+    @property
+    def total_work(self) -> int:
+        """The single-number measured cost: tuples touched end to end."""
+        return self.examined + self.produced + self.materialized
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "examined": self.examined,
+            "produced": self.produced,
+            "probes": self.probes,
+            "materialized": self.materialized,
+            "iterations": self.iterations,
+            "total_work": self.total_work,
+        }
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{k}={v}" for k, v in self.snapshot().items())
+        return f"Profiler({parts})"

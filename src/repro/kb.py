@@ -1,0 +1,305 @@
+"""The knowledge-base facade: the public face of the LDL system.
+
+Section 2: "The knowledge base consists of a rule base and a database".
+:class:`KnowledgeBase` bundles the two with the optimizer and the
+interpreter, exposing the workflow a user of the paper's system would
+have:
+
+>>> kb = KnowledgeBase()
+>>> kb.rules('''
+...     anc(X, Y) <- par(X, Y).
+...     anc(X, Y) <- par(X, Z), anc(Z, Y).
+... ''')
+2
+>>> kb.facts("par", [("abe", "homer"), ("homer", "bart")])
+2
+>>> sorted(kb.ask("anc(abe, Y)?").to_python())
+[('bart',), ('homer',)]
+
+Query *forms* are compiled once and cached — ``anc($X, Y)?`` is optimized
+a single time and can then be executed for many values of ``$X``
+(Section 2: optimization is query-form specific).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .datalog.bindings import QueryForm
+from .datalog.parser import parse_program, parse_query
+from .datalog.rules import Program, Rule
+from .engine.interpreter import Interpreter, QueryAnswers
+from .engine.profiler import Profiler
+from .errors import KnowledgeBaseError
+from .optimizer.optimizer import OptimizedQuery, Optimizer, OptimizerConfig
+from .plans.printer import explain
+from .storage.catalog import Database
+from .storage.loader import load_facts_text
+
+
+class KnowledgeBase:
+    """Rules + facts + optimizer + engine, with per-query-form caching."""
+
+    def __init__(self, config: OptimizerConfig | None = None):
+        from .datalog.builtins import default_builtins
+
+        self.db = Database()
+        self.config = config or OptimizerConfig()
+        self.builtins = default_builtins()
+        self._rules: list[Rule] = []
+        self._optimizer: Optimizer | None = None
+        self._compiled: dict[tuple[str, str], OptimizedQuery] = {}
+        self._views = None  # ViewSet, when materialize() has been called
+
+    # ----------------------------------------------------------- loading
+
+    def rules(self, source: str) -> int:
+        """Add rules written in LDL syntax; ground facts go to the database.
+
+        Returns the number of rules added (facts not counted).
+        """
+        program = parse_program(source)
+        added = 0
+        for rule in program:
+            if rule.is_fact and not rule.head.variables:
+                self.db.insert(rule.head.predicate, rule.head.args)
+                continue
+            self._check_rule(rule)
+            self._rules.append(rule)
+            added += 1
+        self._invalidate()
+        return added
+
+    def rule(self, rule: Rule) -> None:
+        """Add one programmatically built rule."""
+        self._check_rule(rule)
+        self._rules.append(rule)
+        self._invalidate()
+
+    def facts(self, predicate: str, rows: Iterable[Sequence[object]]) -> int:
+        """Bulk-load plain-value tuples for a base predicate.
+
+        Materialized views (see :meth:`materialize`) are maintained
+        incrementally from the newly inserted tuples.
+        """
+        from .datalog.terms import term_from_python
+
+        if any(r.head.predicate == predicate for r in self._rules):
+            raise KnowledgeBaseError(
+                f"{predicate!r} is a derived predicate; facts must go to base predicates"
+            )
+        lifted = [tuple(term_from_python(v) for v in row) for row in rows]
+        relation = self.db.get(predicate)
+        fresh = [
+            row for row in lifted
+            if relation is None or row not in relation
+        ]
+        added = 0
+        for row in lifted:
+            if self.db.insert(predicate, row):
+                added += 1
+        self._invalidate(keep_views=True)
+        if self._views is not None and fresh:
+            self._views.insert(predicate, fresh)
+        return added
+
+    def retract(self, predicate: str, rows: Iterable[Sequence[object]]) -> int:
+        """Remove facts from a base predicate; compiled plans are
+        invalidated and materialized views maintained by DRed."""
+        from .datalog.terms import term_from_python
+
+        lifted = [tuple(term_from_python(v) for v in row) for row in rows]
+        relation = self.db.get(predicate)
+        present = [row for row in lifted if relation is not None and row in relation]
+        removed = self.db.retract(predicate, [tuple(f for f in row) for row in present])
+        if removed:
+            self._invalidate(keep_views=True)
+            if self._views is not None and present:
+                self._views.delete(predicate, present)
+        return removed
+
+    # ----------------------------------------------------------- views
+
+    def materialize(self):
+        """Materialize every derived predicate and keep the extensions
+        incrementally consistent under :meth:`facts` / :meth:`retract`.
+
+        Returns the :class:`~repro.engine.maintenance.ViewSet`.  Only
+        negation- and aggregation-free programs are supported.
+        """
+        from .engine.maintenance import ViewSet
+
+        views = ViewSet(self.db, self.program, builtins=self.builtins)
+        views.materialize()
+        self._views = views
+        return views
+
+    def view_rows(self, predicate: str):
+        """Current materialized extension of *predicate* (plain values)."""
+        if self._views is None:
+            raise KnowledgeBaseError("no materialized views; call materialize() first")
+        from .datalog.terms import Constant
+
+        return {
+            tuple(f.value if isinstance(f, Constant) else f for f in row)
+            for row in self._views.rows(predicate)
+        }
+
+    def facts_text(self, source: str) -> int:
+        """Load facts written in LDL syntax (supports complex terms)."""
+        added = load_facts_text(self.db, source)
+        self._invalidate()
+        return added
+
+    def register_builtin(self, builtin) -> None:
+        """Register a user-defined built-in predicate (see
+        :mod:`repro.datalog.builtins`)."""
+        self.builtins.register(builtin)
+        self._invalidate()
+
+    def _check_rule(self, rule: Rule) -> None:
+        if rule.head.predicate in self.db.names:
+            raise KnowledgeBaseError(
+                f"{rule.head.predicate!r} already holds facts; cannot also be derived"
+            )
+        if rule.head.predicate in self.builtins:
+            raise KnowledgeBaseError(
+                f"{rule.head.predicate!r} is a built-in predicate; it cannot be redefined"
+            )
+
+    def _invalidate(self, keep_views: bool = False) -> None:
+        self._optimizer = None
+        self._compiled.clear()
+        if not keep_views:
+            self._views = None
+
+    # ----------------------------------------------------------- compiling
+
+    @property
+    def program(self) -> Program:
+        return Program(self._rules)
+
+    @property
+    def optimizer(self) -> Optimizer:
+        if self._optimizer is None:
+            self._optimizer = Optimizer(self.program, self.db, self.config, builtins=self.builtins)
+        return self._optimizer
+
+    def compile(self, query: str | QueryForm) -> OptimizedQuery:
+        """Optimize a query form (cached per form + adornment)."""
+        form = parse_query(query) if isinstance(query, str) else query
+        key = (str(form.goal), form.adornment.code)
+        hit = self._compiled.get(key)
+        if hit is not None:
+            return hit
+        compiled = self.optimizer.optimize(form)
+        self._compiled[key] = compiled
+        return compiled
+
+    def explain(self, query: str | QueryForm) -> str:
+        """The optimizer's chosen processing tree, pretty-printed."""
+        return explain(self.compile(query).plan)
+
+    def analyze(self, query: str | QueryForm, **bindings: object) -> str:
+        """EXPLAIN ANALYZE: execute the query and render the plan with
+        measured per-node statistics next to the estimates."""
+        from .plans.printer import explain_analyzed
+
+        compiled = self.compile(query)
+        profiler = Profiler()
+        interpreter = Interpreter(self.db, profiler=profiler, builtins=self.builtins)
+        answers = interpreter.run(compiled.plan, compiled.query, **bindings)
+        body = explain_analyzed(compiled.plan, interpreter.node_stats)
+        summary = (
+            f"-- answers: {len(answers)} | work: {profiler.total_work} tuples "
+            f"(examined {profiler.examined}, produced {profiler.produced}, "
+            f"iterations {profiler.iterations})"
+        )
+        return f"{body}\n{summary}"
+
+    # ----------------------------------------------------------- running
+
+    def ask(
+        self,
+        query: str | QueryForm,
+        profiler: Profiler | None = None,
+        **bindings: object,
+    ) -> QueryAnswers:
+        """Compile (cached) and execute a query.
+
+        Bound variables (``$X``) take their values from keyword
+        arguments: ``kb.ask("sg($X, Y)?", X="joe")``.  When the goal
+        predicate is materialized (see :meth:`materialize`), the answer
+        is served from the incrementally maintained view.
+        """
+        form = parse_query(query) if isinstance(query, str) else query
+        if self._views is not None and form.predicate in self._views:
+            return self._answer_from_view(form, profiler or Profiler(), bindings)
+        compiled = self.compile(form)
+        interpreter = Interpreter(self.db, profiler=profiler, builtins=self.builtins)
+        return interpreter.run(compiled.plan, compiled.query, **bindings)
+
+    def _answer_from_view(self, form: QueryForm, profiler: Profiler, bindings: dict) -> QueryAnswers:
+        """Answer a query form by filtering a materialized extension."""
+        from .datalog.terms import term_from_python
+        from .datalog.unify import Substitution, apply, match
+        from .errors import ExecutionError
+
+        missing = {v.name for v in form.bound_vars} - set(bindings)
+        if missing:
+            raise ExecutionError(f"missing values for bound variables: {sorted(missing)}")
+        base: Substitution = {
+            v: term_from_python(bindings[v.name]) for v in form.bound_vars
+        }
+        patterns = [apply(arg, base) for arg in form.goal.args]
+        out_vars = form.output_vars
+        rows = set()
+        for stored in self._views.rows(form.predicate):
+            profiler.bump_examined()
+            subst: Substitution | None = dict(base)
+            for pattern, value in zip(patterns, stored):
+                subst = match(pattern, value, subst)
+                if subst is None:
+                    break
+            if subst is not None:
+                rows.add(tuple(subst[v] for v in out_vars))
+        profiler.bump_produced(len(rows))
+        return QueryAnswers(out_vars, frozenset(rows), profiler)
+
+    # ----------------------------------------------------------- persistence
+
+    def save(self, directory: str) -> None:
+        """Persist the knowledge base to *directory* (created if needed):
+        ``rules.ldl`` holds the rule base, ``facts.ldl`` the fact base —
+        both in LDL syntax, so they are diffable and hand-editable."""
+        from pathlib import Path
+
+        from .storage.loader import dump_facts_text
+
+        path = Path(directory)
+        path.mkdir(parents=True, exist_ok=True)
+        (path / "rules.ldl").write_text(
+            "\n".join(str(rule) for rule in self._rules) + "\n" if self._rules else ""
+        )
+        (path / "facts.ldl").write_text(dump_facts_text(self.db))
+
+    @classmethod
+    def load(cls, directory: str, config: OptimizerConfig | None = None) -> "KnowledgeBase":
+        """Reload a knowledge base written by :meth:`save`."""
+        from pathlib import Path
+
+        path = Path(directory)
+        kb = cls(config)
+        rules_file = path / "rules.ldl"
+        facts_file = path / "facts.ldl"
+        if facts_file.exists():
+            kb.facts_text(facts_file.read_text())
+        if rules_file.exists():
+            kb.rules(rules_file.read_text())
+        return kb
+
+    def __repr__(self) -> str:
+        return (
+            f"KnowledgeBase({len(self._rules)} rules, "
+            f"{len(self.db.names)} relations, {len(self._compiled)} compiled forms)"
+        )

@@ -1,0 +1,33 @@
+"""The cost-based optimizer: search strategies, NR-OPT and OPT."""
+
+from .annealing import AnnealingResult, AnnealingSchedule, anneal, annealing_order
+from .conjunctive import (
+    CostedStep,
+    OrderResult,
+    cost_order,
+    dp_order,
+    enumerate_orders,
+    exhaustive_order,
+    split_joinable,
+)
+from .kbz import kbz_order
+from .optimizer import STRATEGIES, OptimizedQuery, Optimizer, OptimizerConfig
+
+__all__ = [
+    "AnnealingResult",
+    "AnnealingSchedule",
+    "CostedStep",
+    "OptimizedQuery",
+    "Optimizer",
+    "OptimizerConfig",
+    "OrderResult",
+    "STRATEGIES",
+    "anneal",
+    "annealing_order",
+    "cost_order",
+    "dp_order",
+    "enumerate_orders",
+    "exhaustive_order",
+    "kbz_order",
+    "split_joinable",
+]

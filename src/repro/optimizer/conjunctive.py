@@ -1,0 +1,208 @@
+"""Join-order search for conjunctive queries (Section 7.1).
+
+"An important lesson learnt from the implementation of relational
+database systems is that the execution space of a conjunctive query can
+be viewed as the orderings of joins" — so the unit of search here is a
+permutation of the *joinable* body literals (positive, non-evaluable).
+Comparisons and negated goals float: each is applied at the earliest
+position where it is effectively computable, which loses no optimality
+(they only shrink intermediate results under a monotone cost model) and
+realizes the PS part of the execution space for free, exactly as the
+paper folds preselection into the join choice.
+
+Two enumeration strategies live here:
+
+* :func:`exhaustive_order` — all n! permutations (the reference the other
+  strategies are measured against; the paper: "because of its complete
+  nature, supplies the basis for assessing the soundness of the overall
+  approach");
+* :func:`dp_order` — the [Sel 79] dynamic program over the 2^n subsets,
+  "reducing the n! permutations to 2^n choices" (Section 7.2).
+
+Both delegate per-step costing to :class:`~repro.cost.estimates.BodyEstimator`,
+so the EL (method) decision stays local to a fixed permutation, as the
+paper observes.  Unsafe permutations cost ``inf`` and lose automatically
+(Section 8.2); :func:`enumerate_orders` exposes the full cost spectrum
+for the EXP-6 benchmark.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from ..cost.estimates import BodyEstimator
+from ..cost.model import Estimate, StepState
+from ..datalog.literals import Literal
+from ..datalog.safety import literal_is_ec
+from ..datalog.terms import Variable
+
+
+@dataclass(frozen=True, slots=True)
+class CostedStep:
+    """One literal placed in the chosen order, with its local decisions."""
+
+    index: int          #: position of the literal in the original body
+    method: str         #: EL label chosen for this step
+    cost_delta: float   #: cost added by this step
+    card_after: float   #: bindings-table cardinality after this step
+
+
+@dataclass(frozen=True, slots=True)
+class OrderResult:
+    """A fully costed body ordering."""
+
+    steps: tuple[CostedStep, ...]
+    est: Estimate
+    evaluations: int = 0  #: permutations costed to find this result
+
+    @property
+    def order(self) -> tuple[int, ...]:
+        return tuple(s.index for s in self.steps)
+
+    @property
+    def is_safe(self) -> bool:
+        return not self.est.is_infinite
+
+
+def split_joinable(body: Sequence[Literal]) -> tuple[list[int], list[int]]:
+    """Partition body positions into joinable and floating literals."""
+    joinable: list[int] = []
+    floating: list[int] = []
+    for index, literal in enumerate(body):
+        if literal.is_comparison or literal.negated:
+            floating.append(index)
+        else:
+            joinable.append(index)
+    return joinable, floating
+
+
+def cost_order(
+    body: Sequence[Literal],
+    joinable_perm: Sequence[int],
+    floating: Sequence[int],
+    initially_bound: frozenset[Variable],
+    estimator: BodyEstimator,
+) -> OrderResult:
+    """Cost one permutation of the joinable literals.
+
+    Floating literals are flushed greedily as soon as they become EC;
+    leftovers are force-applied at the end (pricing the order unsafe).
+    """
+    state = StepState(card=1.0, bound=frozenset(initially_bound), cost=0.0)
+    steps: list[CostedStep] = []
+    pending = list(floating)
+
+    def flush(current: StepState) -> StepState:
+        progressed = True
+        while progressed and pending:
+            progressed = False
+            for position in list(pending):
+                literal = body[position]
+                ok, __ = literal_is_ec(literal, current.bound)
+                if not ok:
+                    continue
+                before = current.cost
+                current, method = estimator.literal_step(current, literal)
+                steps.append(
+                    CostedStep(position, method, current.cost - before, current.card)
+                )
+                pending.remove(position)
+                progressed = True
+        return current
+
+    state = flush(state)
+    for position in joinable_perm:
+        before = state.cost
+        state, method = estimator.literal_step(state, body[position])
+        steps.append(CostedStep(position, method, state.cost - before, state.card))
+        state = flush(state)
+
+    for position in pending:  # never became EC: unsafe order
+        before = state.cost
+        state, method = estimator.literal_step(state, body[position])
+        steps.append(CostedStep(position, method, state.cost - before, state.card))
+
+    return OrderResult(tuple(steps), Estimate(state.cost, state.card))
+
+
+def enumerate_orders(
+    body: Sequence[Literal],
+    initially_bound: frozenset[Variable],
+    estimator: BodyEstimator,
+) -> Iterator[OrderResult]:
+    """Yield every joinable permutation, costed — the PR execution space.
+
+    This is the raw material of the EXP-6 cost-spectrum experiment and of
+    the quality baselines (EXP-1/EXP-2).
+    """
+    joinable, floating = split_joinable(body)
+    for perm in itertools.permutations(joinable):
+        yield cost_order(body, perm, floating, initially_bound, estimator)
+
+
+def exhaustive_order(
+    body: Sequence[Literal],
+    initially_bound: frozenset[Variable],
+    estimator: BodyEstimator,
+) -> OrderResult:
+    """Full enumeration; optimal over {MP, PR, PS, PP, EL}."""
+    best: OrderResult | None = None
+    evaluations = 0
+    for result in enumerate_orders(body, initially_bound, estimator):
+        evaluations += 1
+        if best is None or result.est.cost < best.est.cost:
+            best = result
+    assert best is not None, "a body always has at least the empty permutation"
+    return OrderResult(best.steps, best.est, evaluations)
+
+
+def dp_order(
+    body: Sequence[Literal],
+    initially_bound: frozenset[Variable],
+    estimator: BodyEstimator,
+) -> OrderResult:
+    """Selinger dynamic programming over subsets of joinable literals.
+
+    Exact for this cost model: the (cost, card, bound) state after a
+    subset is order-independent — cardinality is a product of
+    selectivities determined by the subset, and floating literals flush
+    deterministically from the bound-variable set.
+    """
+    joinable, floating = split_joinable(body)
+    if not joinable:
+        return cost_order(body, (), floating, initially_bound, estimator)
+
+    @dataclass
+    class _Partial:
+        order: tuple[int, ...]
+        result: OrderResult
+
+    table: dict[frozenset[int], _Partial] = {}
+    evaluations = 0
+
+    for position in joinable:
+        result = cost_order(body, (position,), floating, initially_bound, estimator)
+        table[frozenset((position,))] = _Partial((position,), result)
+        evaluations += 1
+
+    for size in range(2, len(joinable) + 1):
+        next_table: dict[frozenset[int], _Partial] = {}
+        for subset, partial in table.items():
+            if len(subset) != size - 1:
+                continue
+            for position in joinable:
+                if position in subset:
+                    continue
+                order = partial.order + (position,)
+                result = cost_order(body, order, floating, initially_bound, estimator)
+                evaluations += 1
+                key = subset | {position}
+                incumbent = next_table.get(key)
+                if incumbent is None or result.est.cost < incumbent.result.est.cost:
+                    next_table[key] = _Partial(order, result)
+        table.update(next_table)
+
+    full = table[frozenset(joinable)]
+    return OrderResult(full.result.steps, full.result.est, evaluations)

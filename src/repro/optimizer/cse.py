@@ -1,0 +1,291 @@
+"""Common subexpression elimination (the paper's Section 9).
+
+"Common subexpression elimination [GM 82] ... is one of the optimization
+aspects not covered in this paper.  A simple technique using a
+hill-climbing method is easy to superimpose on the proposed strategy."
+
+This module is that superimposition:
+
+* :func:`find_common_segments` — detect body segments (pairs or larger
+  sets of positive literals) that occur, up to variable renaming, in two
+  or more rule bodies;
+* :func:`factor_segment` — fold every occurrence into a call to a fresh
+  derived predicate (one shared definition), after which NR-OPT's
+  per-binding memoization computes the shared join once;
+* :func:`eliminate_common_subexpressions` — the hill-climbing loop:
+  repeatedly apply the candidate factoring that most improves the
+  optimizer's estimate for a given query form, stop when none does.
+
+The paper also sketches a more speculative flavour — for goals
+``P(a,b,X)`` and ``P(a,Y,c)``, "computing P(a,Y,X) once and restricting
+the result for each of the cases may be more efficient".  The building
+block for that is the *least general generalization* of two literals;
+:func:`anti_unify` implements it and the tests exercise the paper's own
+example, though the optimizer does not apply it automatically.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..datalog.bindings import QueryForm
+from ..datalog.literals import Literal
+from ..datalog.rules import Program, Rule
+from ..datalog.terms import Constant, Struct, Term, Variable, variables_of
+from ..storage.statistics import StatisticsProvider
+
+#: Fresh-predicate name prefix for factored segments.
+CSE_PREFIX = "cse"
+
+
+# ---------------------------------------------------------------------------
+# canonical forms
+# ---------------------------------------------------------------------------
+
+
+def _canonical_segment(literals: Sequence[Literal]) -> tuple:
+    """A renaming-invariant key for a multiset of positive literals.
+
+    Literals are sorted by (predicate, arity); variables are numbered in
+    first-occurrence order over the sorted sequence.  Two segments get
+    the same key iff they are equal up to a variable renaming.
+    """
+    ordered = sorted(literals, key=lambda l: (l.predicate, l.arity, str(l)))
+    mapping: dict[Variable, int] = {}
+
+    def canon(term: Term):
+        if isinstance(term, Variable):
+            if term not in mapping:
+                mapping[term] = len(mapping)
+            return ("v", mapping[term])
+        if isinstance(term, Constant):
+            return ("c", term.value)
+        assert isinstance(term, Struct)
+        return ("s", term.functor, tuple(canon(a) for a in term.args))
+
+    return tuple(
+        (literal.predicate, tuple(canon(arg) for arg in literal.args))
+        for literal in ordered
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class SegmentOccurrence:
+    """One occurrence of a candidate segment inside a rule body."""
+
+    rule_index: int
+    positions: tuple[int, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class CommonSegment:
+    """A segment occurring in at least two places."""
+
+    key: tuple
+    representative: tuple[Literal, ...]
+    occurrences: tuple[SegmentOccurrence, ...]
+
+    @property
+    def size(self) -> int:
+        return len(self.representative)
+
+
+def find_common_segments(
+    program: Program,
+    segment_size: int = 2,
+    min_occurrences: int = 2,
+) -> list[CommonSegment]:
+    """All size-*segment_size* positive-literal segments occurring at
+    least *min_occurrences* times across the program's rule bodies."""
+    buckets: dict[tuple, list[tuple[SegmentOccurrence, tuple[Literal, ...]]]] = {}
+    for rule_index, rule in enumerate(program.rules):
+        positive = [
+            (position, literal)
+            for position, literal in enumerate(rule.body)
+            if not literal.is_comparison and not literal.negated
+        ]
+        for combo in itertools.combinations(positive, segment_size):
+            positions = tuple(p for p, __ in combo)
+            literals = tuple(l for __, l in combo)
+            # segments must be connected (share a variable) to be worth
+            # factoring — a cross product helps nobody.
+            shared = set(literals[0].variables)
+            connected = True
+            for literal in literals[1:]:
+                if not shared & literal.variables:
+                    connected = False
+                    break
+                shared |= literal.variables
+            if not connected:
+                continue
+            key = _canonical_segment(literals)
+            buckets.setdefault(key, []).append(
+                (SegmentOccurrence(rule_index, positions), literals)
+            )
+    out = []
+    for key, occurrences in buckets.items():
+        if len(occurrences) >= min_occurrences:
+            out.append(
+                CommonSegment(
+                    key=key,
+                    representative=occurrences[0][1],
+                    occurrences=tuple(o for o, __ in occurrences),
+                )
+            )
+    out.sort(key=lambda s: (-len(s.occurrences), str(s.key)))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# factoring
+# ---------------------------------------------------------------------------
+
+
+def _segment_variable_order(literals: Sequence[Literal]) -> list[Variable]:
+    """Variables of a segment in canonical (sorted, first-occurrence) order."""
+    ordered = sorted(literals, key=lambda l: (l.predicate, l.arity, str(l)))
+    out: list[Variable] = []
+    for literal in ordered:
+        for arg in literal.args:
+            for var in sorted(variables_of(arg), key=lambda v: v.name):
+                if var not in out:
+                    out.append(var)
+    return out
+
+
+def factor_segment(program: Program, segment: CommonSegment, name: str) -> Program:
+    """Fold every occurrence of *segment* into a call to predicate *name*.
+
+    One definition rule is added (using the first occurrence's variable
+    names); every occurrence is replaced by a call whose arguments are
+    that occurrence's own variables in canonical order, so all callers
+    share the definition exactly.
+    """
+    interface = _segment_variable_order(segment.representative)
+    definition = Rule(
+        Literal(name, tuple(interface)), tuple(segment.representative), label="cse"
+    )
+
+    rules = list(program.rules)
+    for occurrence in segment.occurrences:
+        rule = rules[occurrence.rule_index]
+        occurrence_literals = tuple(rule.body[p] for p in occurrence.positions)
+        if _canonical_segment(occurrence_literals) != segment.key:
+            continue  # the rule was already rewritten by an earlier fold
+        call_args = tuple(_segment_variable_order(occurrence_literals))
+        call = Literal(name, call_args)
+        first = min(occurrence.positions)
+        body = []
+        for position, literal in enumerate(rule.body):
+            if position == first:
+                body.append(call)
+            elif position in occurrence.positions:
+                continue
+            else:
+                body.append(literal)
+        rules[occurrence.rule_index] = Rule(rule.head, tuple(body), rule.label)
+    return Program(rules + [definition])
+
+
+# ---------------------------------------------------------------------------
+# the hill-climbing loop
+# ---------------------------------------------------------------------------
+
+
+def eliminate_common_subexpressions(
+    program: Program,
+    stats: StatisticsProvider,
+    query: QueryForm,
+    max_rounds: int = 4,
+    segment_size: int = 2,
+    config=None,
+) -> tuple[Program, list[str]]:
+    """Hill-climb over candidate factorings, keeping those that improve
+    the optimizer's estimate for *query*.
+
+    Returns the (possibly rewritten) program and a log of accepted
+    factorings.  The original program is returned unchanged when no
+    candidate helps — CSE never degrades the estimate.
+    """
+    from .optimizer import Optimizer, OptimizerConfig
+
+    def estimate(candidate: Program) -> float:
+        try:
+            optimizer = Optimizer(candidate, stats, config or OptimizerConfig())
+            return optimizer.optimize(query).est.cost
+        except Exception:
+            return float("inf")
+
+    current = program
+    current_cost = estimate(program)
+    accepted: list[str] = []
+    counter = 0
+
+    for _round in range(max_rounds):
+        candidates = find_common_segments(current, segment_size=segment_size)
+        best_program = None
+        best_cost = current_cost
+        best_label = ""
+        for segment in candidates[:12]:  # bound the neighborhood per round
+            counter += 1
+            name = f"{CSE_PREFIX}{counter}"
+            candidate = factor_segment(current, segment, name)
+            cost = estimate(candidate)
+            if cost < best_cost:
+                best_program = candidate
+                best_cost = cost
+                rep = ", ".join(str(l) for l in segment.representative)
+                best_label = f"factored [{rep}] as {name} ({len(segment.occurrences)} occurrences)"
+        if best_program is None:
+            break
+        current = best_program
+        current_cost = best_cost
+        accepted.append(best_label)
+    return current, accepted
+
+
+# ---------------------------------------------------------------------------
+# anti-unification (the paper's speculative example)
+# ---------------------------------------------------------------------------
+
+_gen_counter = itertools.count()
+
+
+def anti_unify(left: Term, right: Term, table: dict | None = None) -> Term:
+    """The least general generalization of two terms.
+
+    ``anti_unify(P(a,b,X), P(a,Y,c))`` on argument tuples yields
+    ``P(a, V1, V2)`` — the paper's "compute P(a,Y,X) once" candidate.
+    Identical subterms stay; mismatches become shared fresh variables
+    (the same mismatch pair always maps to the same variable).
+    """
+    table = table if table is not None else {}
+    if left == right:
+        return left
+    if (
+        isinstance(left, Struct)
+        and isinstance(right, Struct)
+        and left.functor == right.functor
+        and left.arity == right.arity
+    ):
+        return Struct(
+            left.functor,
+            tuple(anti_unify(a, b, table) for a, b in zip(left.args, right.args)),
+        )
+    key = (left, right)
+    if key not in table:
+        table[key] = Variable(f"_G{next(_gen_counter)}")
+    return table[key]
+
+
+def anti_unify_literals(left: Literal, right: Literal) -> Literal | None:
+    """LGG of two positive literals over the same predicate, or None."""
+    if left.predicate != right.predicate or left.arity != right.arity:
+        return None
+    if left.is_comparison or left.negated or right.negated:
+        return None
+    table: dict = {}
+    args = tuple(anti_unify(a, b, table) for a, b in zip(left.args, right.args))
+    return Literal(left.predicate, args)

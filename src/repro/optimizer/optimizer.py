@@ -1,0 +1,624 @@
+"""The LDL optimizer: NR-OPT (Figure 7-1) and OPT (Figure 7-2).
+
+The :class:`Optimizer` compiles a *query form* against a rule base and a
+statistics catalog into a minimum-cost processing tree:
+
+* **AND nodes** (step 1 of both algorithms) — each rule body is ordered
+  by a pluggable search strategy (exhaustive, Selinger DP, KBZ quadratic,
+  simulated annealing; Section 7.1's three generic strategies plus the
+  textual/Prolog baseline), with join methods (EL) decided locally and
+  comparisons placed at their earliest effectively computable position;
+* **OR nodes** (step 2) — one subtree per rule, *memoized per binding
+  pattern*: "this algorithm guarantees that each subtree is optimized
+  exactly ONCE for each binding";
+* **CC nodes** (step 3, recursive cliques) — c-permutations are
+  enumerated (or annealed, for large cliques), each adorned per Section
+  7.3; non-clique literals are optimized recursively for their
+  adornments; each applicable recursive method (semi-naive, naive, magic
+  sets, generalized counting) is costed and the minimum survives.
+
+Safety (Section 8) is integrated, not bolted on: a permutation whose
+evaluable goals cannot be made effectively computable prices at ``inf``;
+a recursive method without a termination certificate (finiteness for the
+materialized fixpoint, a well-founded order for the pipelined ones)
+prices at ``inf``; and if the best plan overall is still infinite the
+query is reported unsafe with the diagnostics gathered along the way —
+"if the cost of the end-solution produced by the optimizer is not less
+than this extreme value, a proper message must inform the user".
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..cost.estimates import BodyEstimator, derived_ndvs, estimate_fixpoint
+from ..cost.model import CostParams, DerivedEstimate, Estimate, INFINITE_COST
+from ..datalog.adorn import AdornedClique, CPermutation, adorn_clique, enumerate_cpermutations
+from ..datalog.bindings import BindingPattern, QueryForm, binds_after, head_bound_vars
+from ..datalog.counting import counting_applicable, counting_rewrite
+from ..datalog.graph import Clique, DependencyGraph
+from ..datalog.literals import Literal, PredicateRef, pred_ref
+from ..datalog.magic import magic_rewrite, supplementary_magic_rewrite
+from ..datalog.rules import Program, Rule
+from ..datalog.safety import ec_check, exists_safe_order, well_founded_order
+from ..errors import OptimizationError, UnsafeQueryError
+from ..plans.nodes import FixpointNode, JoinNode, JoinStep, UnionNode
+from ..storage.statistics import RelationStats, StatisticsProvider
+from .annealing import AnnealingSchedule, annealing_order
+from .conjunctive import OrderResult, cost_order, dp_order, exhaustive_order, split_joinable
+from .kbz import kbz_order
+
+#: Names of the available ordering strategies.
+STRATEGIES = ("exhaustive", "dp", "kbz", "annealing", "textual")
+
+
+@dataclass(frozen=True, slots=True)
+class OptimizerConfig:
+    """Knobs of the search (Section 7: "capable of using multiple
+    strategies interchangeably ... the choice of strategies may be made
+    per rule")."""
+
+    strategy: str = "dp"
+    #: switch to this strategy when a body has more joinable literals
+    #: than ``large_body_threshold`` (None disables the switch)
+    large_body_strategy: str | None = "kbz"
+    large_body_threshold: int = 9
+    params: CostParams = field(default_factory=CostParams)
+    #: recursive methods the CC search may label a clique with
+    recursive_methods: tuple[str, ...] = ("seminaive", "magic", "supplementary", "counting")
+    #: c-permutation budget before switching to annealing
+    max_cpermutations: int = 512
+    #: force every base join step to one method (used by baselines)
+    force_method: str | None = None
+    seed: int = 0
+    annealing: AnnealingSchedule = field(default_factory=AnnealingSchedule)
+
+
+@dataclass(frozen=True, slots=True)
+class OptimizedQuery:
+    """The compiled form of one query form."""
+
+    query: QueryForm
+    plan: UnionNode
+    est: Estimate
+    diagnostics: tuple[str, ...] = ()
+
+    @property
+    def safe(self) -> bool:
+        return not self.est.is_infinite
+
+
+@dataclass(frozen=True, slots=True)
+class _MemoEntry:
+    """Per (predicate, binding) optimization result — NR-OPT step 2's
+    "record the cost, cardinality, graph, etc., indexed by the binding"."""
+
+    plan: UnionNode | FixpointNode
+    est: Estimate
+    ndvs: tuple[float, ...]
+
+
+class Optimizer:
+    """Cost-based compiler for query forms over a program + catalog."""
+
+    def __init__(
+        self,
+        program: Program,
+        stats: StatisticsProvider,
+        config: OptimizerConfig | None = None,
+        builtins=None,
+    ):
+        from ..datalog.builtins import builtin_oracle, default_builtins
+
+        self.program = program
+        self.stats = stats
+        self.config = config or OptimizerConfig()
+        self.builtins = default_builtins() if builtins is None else builtins
+        self._ec_oracle = builtin_oracle(self.builtins)
+        if self.config.strategy not in STRATEGIES:
+            raise OptimizationError(f"unknown strategy {self.config.strategy!r}")
+        self.graph = DependencyGraph(program)
+        self.graph.check_stratified()
+        self._memo: dict[tuple[str, str], _MemoEntry] = {}
+        self._seminaive_cache: dict[frozenset[PredicateRef], Estimate] = {}
+        self._diagnostics: list[str] = []
+        self._rng = random.Random(self.config.seed)
+        #: counters exposed to the complexity benchmarks
+        self.counters: dict[str, int] = {
+            "and_optimizations": 0,
+            "or_optimizations": 0,
+            "cc_optimizations": 0,
+            "order_evaluations": 0,
+            "cpermutations": 0,
+        }
+
+    # ------------------------------------------------------------------ API
+
+    def optimize(self, query: QueryForm) -> OptimizedQuery:
+        """Compile *query* to a minimum-cost processing tree.
+
+        Raises :class:`UnsafeQueryError` when no safe execution exists in
+        the searched space (Section 8.2).
+        """
+        self._diagnostics = []
+        ref = pred_ref(query.goal)
+        if (
+            ref not in self.program.predicates
+            and self.stats.stats_for(ref.name) is None
+            and ref.name not in self.builtins
+        ):
+            raise OptimizationError(f"unknown predicate {ref} in query {query}")
+
+        wrapper = Rule(
+            Literal("__query__", query.goal.args),
+            (query.goal,),
+            label="query wrapper",
+        )
+        join = self._optimize_and(wrapper, query.adornment)
+        plan = UnionNode(
+            ref=PredicateRef("__query__", query.goal.arity),
+            binding=query.adornment,
+            children=(join,),
+            est=join.est,
+            ndvs=derived_ndvs(join.est.card, query.goal.arity, self.config.params),
+        )
+        if plan.est.is_infinite:
+            raise UnsafeQueryError(
+                f"query form {query} has no safe execution in the searched space",
+                reasons=self._diagnostics or ["every permutation priced at infinite cost"],
+            )
+        return OptimizedQuery(query, plan, plan.est, tuple(self._diagnostics))
+
+    # ------------------------------------------------------- derived oracle
+
+    def _oracle(self, literal: Literal, binding: BindingPattern) -> DerivedEstimate | None:
+        """Estimates for a derived literal at a binding (NR-OPT recursion)."""
+        ref = pred_ref(literal)
+        if not self.program.is_derived(ref):
+            return None
+        bound_entry = self._optimize_ref(ref, binding)
+        if binding.is_all_free:
+            free_entry = bound_entry
+        else:
+            free_entry = self._optimize_ref(ref, BindingPattern.all_free(ref.arity))
+        return DerivedEstimate(
+            per_probe=bound_entry.est,
+            materialized=free_entry.est,
+            ndvs=free_entry.ndvs,
+        )
+
+    def _estimator(self, extra_stats: Mapping[str, RelationStats] | None = None) -> BodyEstimator:
+        return BodyEstimator(
+            self.stats,
+            params=self.config.params,
+            derived_oracle=self._oracle,
+            extra_stats=extra_stats,
+            builtins=self.builtins,
+        )
+
+    # --------------------------------------------------------- OR subtrees
+
+    def _downgrade_for_aggregates(self, ref: PredicateRef, binding: BindingPattern) -> BindingPattern:
+        """Aggregate head positions cannot receive sideways bindings (the
+        value exists only after grouping), so they are planned free; the
+        parent join filters on the aggregate value afterwards."""
+        positions: set[int] = set()
+        for rule in self.program.rules_for(ref):
+            positions.update(rule.aggregate_positions)
+        if not positions:
+            return binding
+        code = "".join(
+            "f" if index in positions else c for index, c in enumerate(binding.code)
+        )
+        return BindingPattern(code)
+
+    def _optimize_ref(self, ref: PredicateRef, binding: BindingPattern) -> _MemoEntry:
+        """Step 2 (OR node) with per-binding memoization; recursive
+        predicates divert to the CC optimization (step 3)."""
+        binding = self._downgrade_for_aggregates(ref, binding)
+        key = (str(ref), binding.code)
+        hit = self._memo.get(key)
+        if hit is not None:
+            return hit
+        if self.graph.is_recursive(ref):
+            entry = self._optimize_cc(ref, binding)
+        else:
+            entry = self._optimize_or(ref, binding)
+        self._memo[key] = entry
+        return entry
+
+    def _optimize_or(self, ref: PredicateRef, binding: BindingPattern) -> _MemoEntry:
+        self.counters["or_optimizations"] += 1
+        children = []
+        total = Estimate(0.0, 0.0)
+        for rule in self.program.rules_for(ref):
+            join = self._optimize_and(rule, binding)
+            children.append(join)
+            total = total + join.est
+        ndvs = derived_ndvs(total.card, ref.arity, self.config.params)
+        node = UnionNode(ref=ref, binding=binding, children=tuple(children), est=total, ndvs=ndvs)
+        return _MemoEntry(plan=node, est=total, ndvs=ndvs)
+
+    # --------------------------------------------------------- AND subtrees
+
+    def _strategy_for(self, body: Sequence[Literal]) -> str:
+        joinable, __ = split_joinable(body)
+        config = self.config
+        if (
+            config.large_body_strategy is not None
+            and config.strategy in ("exhaustive", "dp")
+            and len(joinable) > config.large_body_threshold
+        ):
+            return config.large_body_strategy
+        return config.strategy
+
+    def _order_body(
+        self,
+        body: Sequence[Literal],
+        initially_bound: frozenset,
+        estimator: BodyEstimator,
+    ) -> OrderResult:
+        strategy = self._strategy_for(body)
+        if strategy == "exhaustive":
+            result = exhaustive_order(body, initially_bound, estimator)
+        elif strategy == "dp":
+            result = dp_order(body, initially_bound, estimator)
+        elif strategy == "kbz":
+            result = kbz_order(body, initially_bound, estimator)
+        elif strategy == "annealing":
+            result = annealing_order(
+                body, initially_bound, estimator,
+                rng=random.Random(self._rng.randrange(2**30)),
+                schedule=self.config.annealing,
+            )
+        elif strategy == "textual":
+            joinable, floating = split_joinable(body)
+            result = cost_order(body, tuple(joinable), floating, initially_bound, estimator)
+        else:  # pragma: no cover - guarded in __init__
+            raise OptimizationError(f"unknown strategy {strategy!r}")
+        self.counters["order_evaluations"] += max(1, result.evaluations)
+        return result
+
+    def _optimize_and(self, rule: Rule, head_binding: BindingPattern) -> JoinNode:
+        """Step 1: order one rule body under the head's binding pattern."""
+        self.counters["and_optimizations"] += 1
+        initially_bound = head_bound_vars(rule.head, head_binding)
+        estimator = self._estimator()
+        if self.config.force_method is not None:
+            estimator = _ForcedMethodEstimator(estimator, self.config.force_method)
+        result = self._order_body(rule.body, initially_bound, estimator)
+        if result.est.is_infinite:
+            report = ec_check(
+                [rule.body[s.index] for s in result.steps], initially_bound, self._ec_oracle
+            )
+            for failure in report.failures:
+                self._diagnostics.append(f"rule '{rule}': {failure}")
+        steps = self._build_steps(rule, result, initially_bound)
+        return JoinNode(rule=rule, binding=head_binding, steps=steps, est=result.est)
+
+    def _build_steps(
+        self,
+        rule: Rule,
+        result: OrderResult,
+        initially_bound: frozenset,
+    ) -> tuple[JoinStep, ...]:
+        """Materialize the chosen ordering as plan steps with children."""
+        steps: list[JoinStep] = []
+        bound = frozenset(initially_bound)
+        running_cost = 0.0
+        for costed in result.steps:
+            literal = rule.body[costed.index]
+            est = Estimate(costed.cost_delta, costed.card_after)
+            running_cost += costed.cost_delta
+            child = None
+            method = costed.method
+            pipelined = True
+            if literal.is_comparison:
+                method = "eval"
+            elif literal.negated:
+                ref = pred_ref(literal)
+                if self.program.is_derived(ref):
+                    child = self._optimize_ref(ref, BindingPattern.all_free(ref.arity)).plan
+                method = "anti_probe"
+            else:
+                ref = pred_ref(literal)
+                if self.program.is_derived(ref):
+                    if method == "materialized":
+                        child = self._optimize_ref(ref, BindingPattern.all_free(ref.arity)).plan
+                        pipelined = False
+                    else:
+                        binding = BindingPattern.of_literal(literal, bound)
+                        child = self._optimize_ref(ref, binding).plan
+                        method = "pipelined"
+                else:
+                    pipelined = method in ("index", "builtin")
+            steps.append(JoinStep(literal=literal, child=child, method=method, pipelined=pipelined, est=est))
+            bound = binds_after(literal, bound)
+        return tuple(steps)
+
+    # ----------------------------------------------------------- CC nodes
+
+    def _applicable_cliques(self) -> list[Clique]:
+        return self.graph.recursive_cliques()
+
+    def _support_program(self, clique: Clique) -> list[Rule]:
+        """Rules for non-clique predicates the clique (transitively) uses."""
+        needed: set[PredicateRef] = set()
+        for ref in clique.predicates:
+            needed |= set(self.graph.reachable_from(ref))
+        needed -= set(clique.predicates)
+        return [r for r in self.program if r.head_ref in needed]
+
+    def _reordered_clique_rules(self, clique: Clique) -> list[Rule] | None:
+        """Clique rules with bodies in a greedily safe order, or None."""
+        out = []
+        for rule in clique.rules:
+            order, reasons = exists_safe_order(rule.body, frozenset(), self._ec_oracle)
+            if order is None:
+                self._diagnostics.extend(f"rule '{rule}': {r}" for r in reasons)
+                return None
+            out.append(rule.with_body([rule.body[i] for i in order]))
+        return out
+
+    def _seminaive_estimate(self, clique: Clique) -> Estimate:
+        """Cost of materializing the clique's full extension (cached)."""
+        cached = self._seminaive_cache.get(clique.predicates)
+        if cached is not None:
+            return cached
+        from ..datalog.safety import _has_value_invention
+
+        if _has_value_invention([r for r in clique.recursive_rules]):
+            estimate = Estimate.unsafe()
+            self._diagnostics.append(
+                f"{clique}: materialized fixpoint is unsafe (rules invent values)"
+            )
+        else:
+            rules = self._reordered_clique_rules(clique)
+            if rules is None:
+                estimate = Estimate.unsafe()
+            else:
+                estimate, __ = estimate_fixpoint(
+                    Program(rules),
+                    lambda overlay: self._estimator(extra_stats=overlay),
+                    seed_cards={},
+                    params=self.config.params,
+                )
+        self._seminaive_cache[clique.predicates] = estimate
+        return estimate
+
+    def _cpermutations(self, clique: Clique, ref: PredicateRef, binding: BindingPattern):
+        """The c-permutation candidates: exhaustive up to the budget,
+        then a seeded random sample (the stochastic strategy)."""
+        import math as _math
+
+        # The greedy most-bound-first SIP first: it chooses per *replica*
+        # (the paper's replication is per rule x binding pattern), which
+        # the uniform cross-product enumeration below cannot express.
+        yield CPermutation.greedy_sip()
+        space = 1
+        for rule in clique.rules:
+            space *= max(1, _math.factorial(len(rule.body)))
+        if space <= self.config.max_cpermutations:
+            yield from enumerate_cpermutations(clique, ref, binding)
+            return
+        yield CPermutation.identity()
+        import zlib
+
+        stable = zlib.crc32(f"{ref}:{binding.code}".encode())
+        rng = random.Random(self.config.seed ^ stable)
+        for __ in range(self.config.max_cpermutations - 1):
+            defaults = {}
+            for index, rule in enumerate(clique.rules):
+                perm = list(range(len(rule.body)))
+                rng.shuffle(perm)
+                defaults[index] = tuple(perm)
+            yield CPermutation(defaults=defaults)
+
+    def _optimize_cc(self, ref: PredicateRef, binding: BindingPattern) -> _MemoEntry:
+        """Step 3: choose c-permutation + recursive method for a clique."""
+        self.counters["cc_optimizations"] += 1
+        clique = self.graph.clique_of(ref)
+        assert clique is not None
+        params = self.config.params
+        support = self._support_program(clique)
+
+        seminaive_est = self._seminaive_estimate(clique)
+        best_node: FixpointNode | None = None
+        best_est = Estimate.unsafe()
+
+        # The materialized (semi-naive) execution is binding-independent:
+        # compute everything, filter by the subquery keys.
+        if "seminaive" in self.config.recursive_methods and not seminaive_est.is_infinite:
+            selectivity = 1.0
+            ndvs = derived_ndvs(seminaive_est.card, ref.arity, params)
+            for position in binding.bound_positions:
+                selectivity /= max(1.0, ndvs[position])
+            probe_est = Estimate(
+                seminaive_est.cost + params.probe_weight,
+                max(1.0, seminaive_est.card * selectivity),
+            )
+            rules = self._reordered_clique_rules(clique) or list(clique.rules)
+            best_node = FixpointNode(
+                ref=ref,
+                binding=binding,
+                method="seminaive",
+                program=Program(rules + support),
+                answer_predicate=ref.name,
+                seed_predicate=None,
+                seed_arity=0,
+                est=probe_est,
+                ndvs=ndvs,
+            )
+            best_est = probe_est
+        if "naive" in self.config.recursive_methods and not seminaive_est.is_infinite:
+            # naive re-derivation: same result, roughly rounds× the work
+            naive_est = Estimate(
+                seminaive_est.cost * params.fixpoint_rounds, seminaive_est.card
+            )
+            if naive_est.cost < best_est.cost:
+                rules = self._reordered_clique_rules(clique) or list(clique.rules)
+                best_node = FixpointNode(
+                    ref=ref, binding=binding, method="naive",
+                    program=Program(rules + support),
+                    answer_predicate=ref.name, seed_predicate=None, seed_arity=0,
+                    est=naive_est,
+                    ndvs=derived_ndvs(naive_est.card, ref.arity, params),
+                )
+                best_est = naive_est
+
+        bound_methods = [
+            m
+            for m in self.config.recursive_methods
+            if m in ("magic", "supplementary", "counting")
+        ]
+        if binding.bound_count > 0 and bound_methods:
+            seen_adorned: set[str] = set()
+            for cperm in self._cpermutations(clique, ref, binding):
+                self.counters["cpermutations"] += 1
+                adorned = adorn_clique(
+                    clique, ref, binding, cperm,
+                    derived_predicates=self.program.derived_predicates,
+                )
+                signature = str(adorned)
+                if signature in seen_adorned:
+                    continue
+                seen_adorned.add(signature)
+                candidate = self._cost_adorned(adorned, support, bound_methods)
+                if candidate is not None and candidate.est.cost < best_est.cost:
+                    best_node = candidate
+                    best_est = candidate.est
+
+        if best_node is None:
+            self._diagnostics.append(
+                f"{clique}: no safe recursive method for binding {binding} of {ref}"
+            )
+            rules = list(clique.rules)
+            best_node = FixpointNode(
+                ref=ref, binding=binding, method="seminaive",
+                program=Program(rules + support),
+                answer_predicate=ref.name, seed_predicate=None, seed_arity=0,
+                est=Estimate.unsafe(),
+                ndvs=derived_ndvs(INFINITE_COST, ref.arity, params),
+            )
+        return _MemoEntry(plan=best_node, est=best_node.est, ndvs=best_node.ndvs)
+
+    def _cost_adorned(
+        self,
+        adorned: AdornedClique,
+        support: list[Rule],
+        methods: Sequence[str],
+    ) -> FixpointNode | None:
+        """Price one adorned program under each applicable bound method."""
+        params = self.config.params
+
+        # Safety of the pipelined fixpoint: EC of every adorned body in
+        # its permutation order, and a well-founded iteration order.
+        for adorned_rule in adorned.rules:
+            bound0 = head_bound_vars(adorned_rule.rule.head, adorned_rule.head_adornment)
+            report = ec_check(adorned_rule.rule.body, bound0, self._ec_oracle)
+            if not report.ok:
+                self._diagnostics.extend(
+                    f"adorned rule '{adorned_rule.rule}': {f}" for f in report.failures
+                )
+                return None
+        wf = well_founded_order(adorned)
+        if not wf.ok:
+            self._diagnostics.append(f"{adorned.query_predicate}: {wf.argument}")
+            return None
+
+        # Optimize external (non-clique derived) goals for their adornments
+        # — OPT step 3.1.ii — so the oracle has memoized estimates ready.
+        for literal, pattern in adorned.external_goals:
+            self._optimize_ref(pred_ref(literal), pattern)
+
+        best: FixpointNode | None = None
+        for method in methods:
+            level_indexed: frozenset[str] = frozenset()
+            if method == "magic":
+                rewritten = magic_rewrite(adorned)
+                seed_cards = {rewritten.seed_predicate: (1.0, rewritten.seed_arity)}
+            elif method == "supplementary":
+                rewritten = supplementary_magic_rewrite(adorned)
+                seed_cards = {rewritten.seed_predicate: (1.0, rewritten.seed_arity)}
+            else:
+                if not counting_applicable(adorned):
+                    continue
+                if not self._counting_data_safe(adorned):
+                    continue
+                rewritten = counting_rewrite(adorned)
+                seed_cards = {rewritten.seed_predicate: (1.0, rewritten.seed_arity + 1)}
+                level_indexed = rewritten.level_predicates
+            est, __ = estimate_fixpoint(
+                rewritten.program,
+                lambda overlay: self._estimator(extra_stats=overlay),
+                seed_cards=seed_cards,
+                params=params,
+                level_indexed=level_indexed,
+            )
+            if est.is_infinite:
+                continue
+            node = FixpointNode(
+                ref=adorned.query_ref,
+                binding=adorned.query_adornment,
+                method=method,
+                program=rewritten.program.extend(support),
+                answer_predicate=rewritten.answer_predicate,
+                seed_predicate=rewritten.seed_predicate,
+                seed_arity=rewritten.seed_arity,
+                adorned=adorned,
+                est=est,
+                ndvs=derived_ndvs(est.card, adorned.query_ref.arity, params),
+                answer_any_level=getattr(rewritten, "answer_any_level", False),
+            )
+            if best is None or node.est.cost < best.est.cost:
+                best = node
+        return best
+
+    def _counting_data_safe(self, adorned: AdornedClique) -> bool:
+        """Counting terminates only over acyclic data: every base relation
+        in a recursive rule's pre-recursive prefix must be declared or
+        measured acyclic (condition 3 in :mod:`repro.datalog.counting`)."""
+        from ..datalog.bindings import split_adorned_name
+
+        for adorned_rule in adorned.rules:
+            if not adorned_rule.is_recursive:
+                continue
+            for literal in adorned_rule.rule.body:
+                if literal.is_comparison:
+                    continue
+                base_name, pattern = split_adorned_name(literal.predicate)
+                if pattern is not None:
+                    break  # reached the recursive literal: prefix ends
+                stats = self.stats.stats_for(literal.predicate)
+                if stats is None or stats.acyclic is not True:
+                    return False
+        return True
+
+
+class _ForcedMethodEstimator:
+    """Estimator wrapper that pins every base join step to one method.
+
+    Used by the Prolog-style baseline (textual order + nested loops) in
+    the end-to-end experiment.
+    """
+
+    def __init__(self, inner: BodyEstimator, method: str):
+        self._inner = inner
+        self._method = method
+        self.params = inner.params
+        self.stats = inner.stats
+
+    def stats_for(self, name: str, arity: int):
+        return self._inner.stats_for(name, arity)
+
+    def literal_step(self, state, literal, method=None):
+        if literal.is_comparison or literal.negated:
+            return self._inner.literal_step(state, literal, method)
+        if self._inner.derived_oracle(literal, BindingPattern.of_literal(literal, state.bound)):
+            return self._inner.literal_step(state, literal, method)
+        return self._inner.literal_step(state, literal, self._method)
+
+    def body_estimate(self, body, initially_bound=frozenset(), initial_card=1.0):
+        return self._inner.body_estimate(body, initially_bound, initial_card)

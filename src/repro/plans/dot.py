@@ -1,0 +1,77 @@
+"""GraphViz DOT rendering of processing trees.
+
+``plan_to_dot`` emits a DOT digraph mirroring the paper's Figure 4-1
+conventions: OR nodes as ellipses, AND nodes as plain boxes, CC
+(contracted clique) nodes as double octagons, materialized steps as
+boxes and pipelined steps as triangles.  Render with any graphviz
+install (``dot -Tsvg plan.dot -o plan.svg``); nothing in this module
+needs graphviz itself.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+from .nodes import DerivedPlan, FixpointNode, JoinNode, UnionNode
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _label(*parts: str) -> str:
+    """Escape each dynamic part, then join with DOT newlines."""
+    return "\\n".join(_escape(p) for p in parts)
+
+
+def _cost(value: float) -> str:
+    if math.isinf(value):
+        return "∞"
+    return f"{value:.3g}"
+
+
+def plan_to_dot(plan: DerivedPlan, name: str = "plan") -> str:
+    """Serialize *plan* as a DOT digraph string."""
+    counter = itertools.count()
+    lines = [f"digraph {name} {{", "  rankdir=TB;", '  node [fontname="Helvetica"];']
+
+    def fresh(kind: str) -> str:
+        return f"{kind}{next(counter)}"
+
+    def emit(node) -> str:
+        if isinstance(node, UnionNode):
+            me = fresh("or_")
+            label = _label(
+                f"OR {node.ref}", f"adorned {node.binding}", f"cost {_cost(node.est.cost)}"
+            )
+            lines.append(f'  {me} [shape=ellipse, label="{label}"];')
+            for child in node.children:
+                lines.append(f"  {me} -> {emit(child)};")
+            return me
+        if isinstance(node, JoinNode):
+            me = fresh("and_")
+            label = _label(f"AND {node.rule.head}", f"cost {_cost(node.est.cost)}")
+            lines.append(f'  {me} [shape=box, label="{label}"];')
+            for position, step in enumerate(node.steps):
+                step_id = fresh("step_")
+                shape = "triangle" if step.pipelined else "box"
+                step_label = _label(str(step.literal), f"[{step.method}]")
+                lines.append(f'  {step_id} [shape={shape}, label="{step_label}"];')
+                lines.append(f'  {me} -> {step_id} [label="{position + 1}"];')
+                if step.child is not None:
+                    lines.append(f"  {step_id} -> {emit(step.child)};")
+            return me
+        if isinstance(node, FixpointNode):
+            me = fresh("cc_")
+            label = _label(
+                f"CC {node.ref}", f"adorned {node.binding}",
+                f"method {node.method}", f"cost {_cost(node.est.cost)}",
+            )
+            lines.append(f'  {me} [shape=doubleoctagon, label="{label}"];')
+            return me
+        raise TypeError(f"not a plan node: {node!r}")  # pragma: no cover
+
+    emit(plan)
+    lines.append("}")
+    return "\n".join(lines)

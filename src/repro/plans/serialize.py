@@ -1,0 +1,74 @@
+"""One-way serialization of processing trees to plain dictionaries.
+
+``plan_to_dict`` produces JSON-compatible nested dicts — for tooling,
+logging, and plan-diffing in tests.  The mapping is intentionally lossy
+(rules and literals become their textual forms); plans are rebuilt by
+re-optimizing, never by deserializing.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any
+
+from .nodes import DerivedPlan, FixpointNode, JoinNode, JoinStep, UnionNode
+
+
+def _cost(value: float) -> float | str:
+    if math.isinf(value):
+        return "inf"
+    return round(value, 3)
+
+
+def _est(node) -> dict[str, Any]:
+    return {"cost": _cost(node.est.cost), "card": _cost(node.est.card)}
+
+
+def _step_to_dict(step: JoinStep) -> dict[str, Any]:
+    out: dict[str, Any] = {
+        "literal": str(step.literal),
+        "method": step.method,
+        "pipelined": step.pipelined,
+        "est": _est(step),
+    }
+    if step.child is not None:
+        out["child"] = plan_to_dict(step.child)
+    return out
+
+
+def plan_to_dict(plan) -> dict[str, Any]:
+    """Serialize a plan node (UnionNode / FixpointNode / JoinNode)."""
+    if isinstance(plan, UnionNode):
+        return {
+            "node": "or",
+            "predicate": str(plan.ref),
+            "binding": plan.binding.code,
+            "est": _est(plan),
+            "children": [plan_to_dict(child) for child in plan.children],
+        }
+    if isinstance(plan, JoinNode):
+        return {
+            "node": "and",
+            "rule": str(plan.rule),
+            "binding": plan.binding.code,
+            "est": _est(plan),
+            "steps": [_step_to_dict(step) for step in plan.steps],
+        }
+    if isinstance(plan, FixpointNode):
+        return {
+            "node": "cc",
+            "predicate": str(plan.ref),
+            "binding": plan.binding.code,
+            "method": plan.method,
+            "answer_predicate": plan.answer_predicate,
+            "seed_predicate": plan.seed_predicate,
+            "est": _est(plan),
+            "program": [str(rule) for rule in plan.program],
+        }
+    raise TypeError(f"not a plan node: {plan!r}")
+
+
+def plan_to_json(plan: DerivedPlan, indent: int | None = 2) -> str:
+    """Serialize a plan to a JSON string."""
+    return json.dumps(plan_to_dict(plan), indent=indent, sort_keys=False)

@@ -1,0 +1,216 @@
+"""The equivalence-preserving transformations of Section 5.
+
+The execution space is *defined* as the closure of a plan under these
+transformations; the optimizer searches it implicitly (permutations +
+local method choice + per-binding subtrees), but the transformations are
+also available explicitly — both to demonstrate the space (Figure 4-2)
+and to property-test that they preserve results when executed.
+
+Plan-level (operate on :class:`~repro.plans.nodes.JoinNode`):
+
+* **PR** :func:`permute` — reorder the steps of an AND node;
+* **EL** :func:`exchange_label` — change a base step's join method;
+* **MP** :func:`set_mode` — flip a step between pipelined and
+  materialized execution;
+* **PS** :func:`push_select` — move a comparison step to another
+  position (piggybacking a selection earlier or later).
+
+Program-level (operate on rules — the natural home of FU):
+
+* **FU flatten** :func:`flatten_program` — unfold a non-recursive derived
+  predicate into its callers, distributing the enclosing join over the
+  union of its rules (Figure 4-2's join-over-union distribution);
+* **FU unflatten** :func:`unflatten_program` — the inverse folding: name
+  a body segment as a new predicate.
+
+Transformed plans carry zeroed estimates (they were not produced by the
+optimizer); execution equivalence is what the tests check.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..cost.model import Estimate
+from ..datalog.literals import Literal, PredicateRef, pred_ref
+from ..datalog.rules import Program, Rule
+from ..datalog.rewrite import rename_apart
+from ..datalog.terms import Variable
+from ..datalog.unify import unify_sequences
+from ..errors import PlanError
+from .nodes import JoinNode, JoinStep
+
+
+def _refresh(steps: Sequence[JoinStep]) -> tuple[JoinStep, ...]:
+    return tuple(
+        JoinStep(s.literal, s.child, s.method, s.pipelined, Estimate(0.0, 0.0))
+        for s in steps
+    )
+
+
+def permute(node: JoinNode, order: Sequence[int]) -> JoinNode:
+    """PR: reorder the steps of an AND node.
+
+    The permutation must be a bijection over the step positions.  The
+    result may be unsafe (an evaluable step before its bindings) — the
+    engine will then raise at execution, which is itself an invariant the
+    tests exercise.
+    """
+    if sorted(order) != list(range(len(node.steps))):
+        raise PlanError(f"invalid permutation {order} for {len(node.steps)} steps")
+    steps = _refresh([node.steps[i] for i in order])
+    return JoinNode(node.rule, node.binding, steps, Estimate(0.0, 0.0))
+
+
+def exchange_label(node: JoinNode, position: int, method: str) -> JoinNode:
+    """EL: relabel the join method of one base-literal step."""
+    step = node.steps[position]
+    if step.child is not None or step.literal.is_comparison or step.literal.negated:
+        raise PlanError("EL applies to base-literal steps")
+    if method not in ("nested_loop", "hash", "index", "merge"):
+        raise PlanError(f"unknown join method {method!r}")
+    new_step = JoinStep(step.literal, None, method, method == "index", Estimate(0.0, 0.0))
+    steps = list(node.steps)
+    steps[position] = new_step
+    return JoinNode(node.rule, node.binding, _refresh(steps), Estimate(0.0, 0.0))
+
+
+def set_mode(node: JoinNode, position: int, pipelined: bool) -> JoinNode:
+    """MP: flip one step between pipelined and materialized execution.
+
+    For base-literal steps this is the index ↔ hash method change (a
+    pipelined base access probes an index with sideways bindings; a
+    materialized one scans and hash-joins).  Derived steps flip their
+    ``pipelined`` flag; the interpreter will evaluate the same child with
+    or without sideways keys.
+    """
+    step = node.steps[position]
+    if step.literal.is_comparison or step.literal.negated:
+        raise PlanError("MP does not apply to evaluable/negated steps")
+    if step.child is None:
+        method = "index" if pipelined else "hash"
+        new_step = JoinStep(step.literal, None, method, pipelined, Estimate(0.0, 0.0))
+    else:
+        method = "pipelined" if pipelined else "materialized"
+        new_step = JoinStep(step.literal, step.child, method, pipelined, Estimate(0.0, 0.0))
+    steps = list(node.steps)
+    steps[position] = new_step
+    return JoinNode(node.rule, node.binding, _refresh(steps), Estimate(0.0, 0.0))
+
+
+def push_select(node: JoinNode, source: int, target: int) -> JoinNode:
+    """PS: move a comparison step from *source* to *target* position."""
+    step = node.steps[source]
+    if not step.literal.is_comparison:
+        raise PlanError("PS moves comparison steps")
+    steps = list(node.steps)
+    steps.pop(source)
+    steps.insert(target, step)
+    return JoinNode(node.rule, node.binding, _refresh(steps), Estimate(0.0, 0.0))
+
+
+# ---------------------------------------------------------------------------
+# FU — flatten / unflatten, at the rule level
+# ---------------------------------------------------------------------------
+
+
+def flatten_rule(rule: Rule, position: int, definitions: Sequence[Rule]) -> list[Rule]:
+    """Unfold the derived literal at *position* using its *definitions*.
+
+    Produces one rule per definition: the join over the union becomes a
+    union of joins (Figure 4-2).  Definitions that cannot unify with the
+    literal are dropped.
+    """
+    literal = rule.body[position]
+    if literal.is_comparison or literal.negated:
+        raise PlanError("cannot flatten an evaluable or negated literal")
+    out: list[Rule] = []
+    for definition in definitions:
+        fresh = rename_apart(definition, rule.variables)
+        subst = unify_sequences(fresh.head.args, literal.args)
+        if subst is None:
+            continue
+        new_body = rule.body[:position] + fresh.body + rule.body[position + 1:]
+        out.append(Rule(rule.head, new_body, rule.label).substitute(subst))
+    return out
+
+
+def flatten_program(program: Program, ref: PredicateRef) -> Program:
+    """FU flatten: inline the non-recursive predicate *ref* everywhere.
+
+    The predicate's own rules disappear; every caller gets one copy per
+    definition.  Recursive predicates are rejected — flattening through a
+    fixpoint is not equivalence-preserving (and the paper's space applies
+    FU outside recursive cliques).
+    """
+    from ..datalog.graph import DependencyGraph
+
+    graph = DependencyGraph(program)
+    if graph.is_recursive(ref):
+        raise PlanError(f"cannot flatten recursive predicate {ref}")
+    definitions = program.rules_for(ref)
+    if not definitions:
+        raise PlanError(f"{ref} has no rules to flatten")
+
+    new_rules: list[Rule] = []
+    for rule in program:
+        if rule.head_ref == ref:
+            continue
+        pending = [rule]
+        while pending:
+            current = pending.pop()
+            position = next(
+                (
+                    i
+                    for i, l in enumerate(current.body)
+                    if not l.is_comparison and not l.negated and pred_ref(l) == ref
+                ),
+                None,
+            )
+            if position is None:
+                new_rules.append(current)
+            else:
+                pending.extend(flatten_rule(current, position, definitions))
+    return Program(new_rules)
+
+
+def unflatten_program(
+    program: Program,
+    rule_index: int,
+    positions: Sequence[int],
+    new_predicate: str,
+) -> Program:
+    """FU unflatten: fold the body literals at *positions* of one rule
+    into a fresh predicate definition.
+
+    The new predicate's arguments are the variables the segment shares
+    with the rest of the rule (its interface); the original rule calls it
+    in place of the segment.
+    """
+    rules = list(program.rules)
+    if not 0 <= rule_index < len(rules):
+        raise PlanError(f"rule index {rule_index} out of range")
+    rule = rules[rule_index]
+    positions = sorted(set(positions))
+    if any(not 0 <= p < len(rule.body) for p in positions):
+        raise PlanError("segment positions out of range")
+    segment = [rule.body[p] for p in positions]
+    rest = [l for i, l in enumerate(rule.body) if i not in positions]
+
+    segment_vars: set[Variable] = set()
+    for literal in segment:
+        segment_vars |= literal.variables
+    outside_vars: set[Variable] = set(rule.head.variables)
+    for literal in rest:
+        outside_vars |= literal.variables
+    interface = sorted(segment_vars & outside_vars, key=lambda v: v.name)
+
+    call = Literal(new_predicate, tuple(interface))
+    definition = Rule(call, tuple(segment))
+    first = min(positions)
+    new_body = rule.body[:first] + (call,) + tuple(
+        l for i, l in enumerate(rule.body[first:], start=first) if i not in positions
+    )
+    rules[rule_index] = Rule(rule.head, new_body, rule.label)
+    rules.append(definition)
+    return Program(rules)

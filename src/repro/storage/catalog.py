@@ -1,0 +1,134 @@
+"""The fact base: a catalog of named relations with statistics.
+
+Section 2: "The knowledge base consists of a rule base and a database
+(also known as fact base)."  :class:`Database` is that fact base — the
+relations the ``Bi`` base predicates scan — plus the statistics interface
+the cost model consumes.  Statistics are collected lazily from the data
+and cached; loading new facts invalidates the cache.  Declared overrides
+let benchmarks pin statistics independently of the stored data.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from ..datalog.terms import Term
+from ..errors import SchemaError
+from .relation import Relation
+from .statistics import RelationStats, collect_statistics
+
+
+class Database:
+    """A mutable catalog of relations, with cached statistics."""
+
+    def __init__(self) -> None:
+        self._relations: dict[str, Relation] = {}
+        self._stats_cache: dict[str, RelationStats] = {}
+        self._stats_overrides: dict[str, RelationStats] = {}
+
+    # -- schema ------------------------------------------------------------
+
+    def create(self, name: str, arity: int, columns: Sequence[str] | None = None) -> Relation:
+        """Create an empty relation; error if the name is taken."""
+        if name in self._relations:
+            raise SchemaError(f"relation {name!r} already exists")
+        relation = Relation(name, arity, columns)
+        self._relations[name] = relation
+        return relation
+
+    def add_relation(self, relation: Relation) -> Relation:
+        """Register an existing relation object under its own name."""
+        if relation.name in self._relations:
+            raise SchemaError(f"relation {relation.name!r} already exists")
+        self._relations[relation.name] = relation
+        return relation
+
+    def drop(self, name: str) -> None:
+        self._relations.pop(name, None)
+        self._stats_cache.pop(name, None)
+        self._stats_overrides.pop(name, None)
+
+    # -- access ------------------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[Relation]:
+        return iter(self._relations.values())
+
+    def relation(self, name: str) -> Relation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SchemaError(f"unknown relation {name!r}") from None
+
+    def get(self, name: str) -> Relation | None:
+        return self._relations.get(name)
+
+    @property
+    def names(self) -> frozenset[str]:
+        return frozenset(self._relations)
+
+    # -- loading -----------------------------------------------------------
+
+    def insert(self, name: str, row: Sequence[Term]) -> bool:
+        """Insert one ground-term tuple, creating the relation on demand."""
+        relation = self._relations.get(name)
+        if relation is None:
+            relation = self.create(name, len(row))
+        self._stats_cache.pop(name, None)
+        return relation.insert(row)
+
+    def load(self, name: str, rows: Iterable[Sequence[object]]) -> int:
+        """Bulk-load plain-value rows, creating the relation on demand."""
+        rows = list(rows)
+        relation = self._relations.get(name)
+        if relation is None:
+            if not rows:
+                raise SchemaError(f"cannot infer arity of new relation {name!r} from no rows")
+            relation = self.create(name, len(rows[0]))
+        self._stats_cache.pop(name, None)
+        return relation.load(rows)
+
+    def retract(self, name: str, rows: Iterable[Sequence[object]]) -> int:
+        """Remove plain-value tuples from *name*; returns how many existed."""
+        relation = self.relation(name)
+        removed = 0
+        for row in rows:
+            if relation.remove_values(tuple(row)):
+                removed += 1
+        if removed:
+            self._stats_cache.pop(name, None)
+        return removed
+
+    # -- statistics ----------------------------------------------------------
+
+    def declare_stats(self, name: str, stats: RelationStats) -> None:
+        """Pin statistics for *name*, overriding collection from data."""
+        self._stats_overrides[name] = stats
+
+    def stats_for(self, name: str) -> RelationStats | None:
+        """Statistics for *name*: declared override, else collected+cached."""
+        override = self._stats_overrides.get(name)
+        if override is not None:
+            return override
+        cached = self._stats_cache.get(name)
+        if cached is not None:
+            return cached
+        relation = self._relations.get(name)
+        if relation is None:
+            return None
+        stats = collect_statistics(relation)
+        self._stats_cache[name] = stats
+        return stats
+
+    def invalidate_stats(self, name: str | None = None) -> None:
+        """Drop cached statistics (all of them when *name* is None)."""
+        if name is None:
+            self._stats_cache.clear()
+        else:
+            self._stats_cache.pop(name, None)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{r.name}({len(r)})" for r in self._relations.values())
+        return f"Database[{parts}]"

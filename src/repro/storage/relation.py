@@ -1,0 +1,185 @@
+"""In-memory relations over ground terms.
+
+A :class:`Relation` is the storage unit of the fact base: a named set of
+fixed-arity tuples whose fields are *ground terms* — atomic
+:class:`~repro.datalog.terms.Constant` values or complex ground
+:class:`~repro.datalog.terms.Struct` terms (LDL stores hierarchies and
+lists directly in relations).
+
+Tuples are deduplicated (set semantics, as required by fixpoint
+evaluation).  Relations maintain any number of hash indexes over column
+subsets; indexes are kept in sync on insert and are what the
+index-nested-loop join and the magic-set seeds use.
+
+The class intentionally exposes *physical* operations only (scan, indexed
+lookup, insert); algebraic operations live in :mod:`repro.engine`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from ..datalog.terms import Term, is_ground, term_from_python
+from ..errors import SchemaError
+from .index import HashIndex
+
+#: A stored tuple: ground terms, one per column.
+Row = tuple[Term, ...]
+
+
+class Relation:
+    """A named, fixed-arity, duplicate-free set of ground-term tuples."""
+
+    def __init__(
+        self,
+        name: str,
+        arity: int,
+        columns: Sequence[str] | None = None,
+    ):
+        if arity < 0:
+            raise SchemaError(f"relation {name!r}: arity must be >= 0, got {arity}")
+        if columns is not None and len(columns) != arity:
+            raise SchemaError(
+                f"relation {name!r}: {len(columns)} column names for arity {arity}"
+            )
+        self.name = name
+        self.arity = arity
+        self.columns = tuple(columns) if columns is not None else tuple(f"c{i}" for i in range(arity))
+        self._rows: set[Row] = set()
+        self._indexes: dict[tuple[int, ...], HashIndex] = {}
+
+    # -- loading ---------------------------------------------------------------
+
+    def _check_row(self, row: Sequence[Term]) -> Row:
+        if len(row) != self.arity:
+            raise SchemaError(
+                f"relation {self.name!r}: tuple of arity {len(row)} into arity {self.arity}"
+            )
+        out = tuple(row)
+        for field in out:
+            if not is_ground(field):
+                raise SchemaError(
+                    f"relation {self.name!r}: non-ground field {field} in {out}"
+                )
+        return out
+
+    def insert(self, row: Sequence[Term]) -> bool:
+        """Insert one tuple of ground terms; returns True if it was new."""
+        checked = self._check_row(row)
+        if checked in self._rows:
+            return False
+        self._rows.add(checked)
+        for index in self._indexes.values():
+            index.add(checked)
+        return True
+
+    def insert_values(self, values: Sequence[object]) -> bool:
+        """Insert a tuple of plain Python values (lifted into terms).
+
+        >>> r = Relation("up", 2)
+        >>> r.insert_values(("a", "b"))
+        True
+        """
+        return self.insert(tuple(term_from_python(v) for v in values))
+
+    def load(self, rows: Iterable[Sequence[object]]) -> int:
+        """Bulk-insert plain-value rows; returns the number actually added."""
+        added = 0
+        for row in rows:
+            if self.insert_values(tuple(row)):
+                added += 1
+        return added
+
+    def remove(self, row: Sequence[Term]) -> bool:
+        """Remove one tuple; returns True if it was present."""
+        checked = tuple(row)
+        if checked not in self._rows:
+            return False
+        self._rows.discard(checked)
+        for index in self._indexes.values():
+            index.remove(checked)
+        return True
+
+    def remove_values(self, values: Sequence[object]) -> bool:
+        """Remove a tuple given as plain Python values."""
+        return self.remove(tuple(term_from_python(v) for v in values))
+
+    def clear(self) -> None:
+        self._rows.clear()
+        for index in self._indexes.values():
+            index.clear()
+
+    # -- access ----------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, row: Sequence[Term]) -> bool:
+        return tuple(row) in self._rows
+
+    @property
+    def rows(self) -> frozenset[Row]:
+        return frozenset(self._rows)
+
+    # -- indexing ----------------------------------------------------------------
+
+    def ensure_index(self, positions: Sequence[int]) -> HashIndex:
+        """Create (or return) a hash index on the given column positions."""
+        key = tuple(positions)
+        for position in key:
+            if not 0 <= position < self.arity:
+                raise SchemaError(
+                    f"relation {self.name!r}: index position {position} out of range"
+                )
+        index = self._indexes.get(key)
+        if index is None:
+            index = HashIndex(key)
+            for row in self._rows:
+                index.add(row)
+            self._indexes[key] = index
+        return index
+
+    def index_on(self, positions: Sequence[int]) -> HashIndex | None:
+        """An existing index on exactly these positions, if any."""
+        return self._indexes.get(tuple(positions))
+
+    def lookup(self, positions: Sequence[int], key: Sequence[Term]) -> Iterator[Row]:
+        """Tuples whose *positions* columns equal *key* (index-accelerated).
+
+        Falls back to a scan when no index exists; callers that care
+        should :meth:`ensure_index` first.
+        """
+        index = self._indexes.get(tuple(positions))
+        if index is not None:
+            yield from index.get(tuple(key))
+            return
+        wanted = tuple(key)
+        for row in self._rows:
+            if tuple(row[p] for p in positions) == wanted:
+                yield row
+
+    # -- misc --------------------------------------------------------------------
+
+    def copy(self, name: str | None = None) -> "Relation":
+        """A deep-enough copy (rows are immutable; indexes are rebuilt lazily)."""
+        out = Relation(name or self.name, self.arity, self.columns)
+        out._rows = set(self._rows)
+        return out
+
+    def __repr__(self) -> str:
+        return f"Relation({self.name!r}, arity={self.arity}, {len(self._rows)} tuples)"
+
+
+def relation_from_rows(name: str, rows: Iterable[Sequence[object]], arity: int | None = None) -> Relation:
+    """Build a relation from plain-value rows, inferring arity if needed."""
+    rows = [tuple(r) for r in rows]
+    if arity is None:
+        if not rows:
+            raise SchemaError(f"relation {name!r}: cannot infer arity from no rows")
+        arity = len(rows[0])
+    relation = Relation(name, arity)
+    relation.load(rows)
+    return relation

@@ -1,0 +1,30 @@
+"""Workload generators: random queries, synthetic datasets, paper fixtures."""
+
+from .datasets import (
+    balanced_tree,
+    bill_of_materials,
+    chain,
+    random_dag,
+    random_graph,
+    random_linear_program,
+    same_generation_instance,
+)
+from .paper_rulebase import PAPER_RULEBASE, paper_database, paper_program
+from .querygen import SHAPES, ConjunctiveWorkload, generate_batch, generate_conjunctive
+
+__all__ = [
+    "ConjunctiveWorkload",
+    "PAPER_RULEBASE",
+    "SHAPES",
+    "balanced_tree",
+    "bill_of_materials",
+    "chain",
+    "generate_batch",
+    "generate_conjunctive",
+    "paper_database",
+    "paper_program",
+    "random_dag",
+    "random_graph",
+    "random_linear_program",
+    "same_generation_instance",
+]

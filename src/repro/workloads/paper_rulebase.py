@@ -1,0 +1,72 @@
+"""The paper's running example rule base (Figure 2-1) as a fixture.
+
+The scanned figure gives rules R1..R5 over derived predicates P1..P5 and
+base relations B1..B5, with R21 recursive.  The exact argument lists are
+not legible in the copy we reproduce from, so this module fixes a
+concrete, faithful rendition with the structure the text describes:
+
+* a non-recursive top predicate (``p1``) defined by two rules (an OR
+  node with two AND children, as in Figure 4-1);
+* a recursive predicate (``p2``, rule R21) whose clique contracts to a
+  CC node;
+* further non-recursive helpers so the tree has depth.
+
+The fixture is shared by tests and by ``examples/paper_figures.py``,
+which renders the processing graph of Figure 4-1 (including the clique
+contraction) from it.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..datalog.parser import parse_program
+from ..datalog.rules import Program
+from ..storage.catalog import Database
+
+#: Figure 2-1 rendition: p2 is recursive (R21), the rest form an AND/OR tree.
+PAPER_RULEBASE = """
+% R11, R12: the top OR node — two ways to derive p1
+p1(X, Y) <- p2(X, Z), p3(Z, Y).
+p1(X, Y) <- b1(X, Z), p4(Z, Y).
+
+% R21 (recursive), R22: the recursive clique {p2}
+p2(X, Y) <- b2(X, Z), p2(Z, Y).
+p2(X, Y) <- b3(X, Y).
+
+% R31: p3 joins two base relations
+p3(X, Y) <- b4(X, Z), b5(Z, Y).
+
+% R41: p4 is a selective view over b4
+p4(X, Y) <- b4(X, Y), X != Y.
+"""
+
+
+def paper_program() -> Program:
+    """Parse the Figure 2-1 rule base."""
+    return parse_program(PAPER_RULEBASE)
+
+
+def paper_database(seed: int = 0, scale: int = 50) -> Database:
+    """A database state for the Figure 2-1 rule base.
+
+    ``b2`` is kept acyclic (it drives the recursion); the other base
+    relations are random binary relations over a shared domain.
+    """
+    rng = random.Random(seed)
+    db = Database()
+    domain = [f"d{i}" for i in range(scale)]
+
+    db.load("b2", [
+        (domain[i], domain[j])
+        for i in range(scale)
+        for j in (i + 1, i + 2)
+        if j < scale and rng.random() < 0.6
+    ])
+    for name in ("b1", "b3", "b4", "b5"):
+        rows = {
+            (rng.choice(domain), rng.choice(domain))
+            for __ in range(scale * 2)
+        }
+        db.load(name, sorted(rows))
+    return db

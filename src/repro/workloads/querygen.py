@@ -1,0 +1,164 @@
+"""Random conjunctive queries and database states ([Vil 87] methodology).
+
+The paper's quality numbers for the quadratic strategy came from
+"randomly picking queries and states of the database and then comparing
+the results of the quadratic time and exhaustive algorithms".  This
+module is that generator: seeded, so every benchmark run is
+reproducible.
+
+A generated workload is a rule body (a conjunctive query) over fresh
+base predicates plus a :class:`~repro.storage.statistics.DeclaredStatistics`
+catalog — exactly what the ordering strategies consume.  Query *shapes*
+control the join graph:
+
+* ``chain``  — r1(A0,A1), r2(A1,A2), ... (the ASI-friendly case);
+* ``star``   — r1(A0,A1), r2(A0,A2), ... (fan-out from a hub);
+* ``cycle``  — a chain whose last literal closes back to A0;
+* ``clique`` — every pair of literals shares a variable;
+* ``random`` — a random connected join graph.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..datalog.literals import Literal
+from ..datalog.terms import Variable
+from ..storage.statistics import DeclaredStatistics
+
+SHAPES = ("chain", "star", "cycle", "clique", "random")
+
+
+@dataclass(frozen=True, slots=True)
+class ConjunctiveWorkload:
+    """One sampled query + database state."""
+
+    body: tuple[Literal, ...]
+    stats: DeclaredStatistics
+    shape: str
+    seed: int
+
+    @property
+    def size(self) -> int:
+        return len(self.body)
+
+
+def _edge_list(shape: str, n: int, rng: random.Random) -> list[tuple[int, int]]:
+    """Variable-sharing structure: which variable indices each literal links."""
+    if shape == "chain":
+        return [(i, i + 1) for i in range(n)]
+    if shape == "star":
+        return [(0, i + 1) for i in range(n)]
+    if shape == "cycle":
+        return [(i, (i + 1) % n) for i in range(n)]
+    if shape == "clique":
+        out = []
+        for i in range(n):
+            for j in range(i + 1, n):
+                out.append((i, j))
+        return out[:n] if n > 2 else out  # keep literal count = n
+    if shape == "random":
+        # a random spanning tree over n+1 variables, plus extra edges
+        edges = []
+        for node in range(1, n + 1):
+            edges.append((rng.randrange(node), node))
+        rng.shuffle(edges)
+        return edges[:n]
+    raise ValueError(f"unknown shape {shape!r}")
+
+
+def generate_conjunctive(
+    n: int,
+    shape: str = "chain",
+    seed: int = 0,
+    min_card: float = 10.0,
+    max_card: float = 100_000.0,
+    prefix: str = "r",
+) -> ConjunctiveWorkload:
+    """Sample an n-literal conjunctive query and a random database state.
+
+    Cardinalities are log-uniform in ``[min_card, max_card]`` and each
+    column's distinct count is a random fraction of the cardinality —
+    mimicking the wide spread of realistic catalogs so the cost spectrum
+    (EXP-6) has room to span orders of magnitude.
+    """
+    rng = random.Random(seed)
+    edges = _edge_list(shape, n, rng)
+    variables = [Variable(f"A{i}") for i in range(max(max(e) for e in edges) + 1)]
+
+    body: list[Literal] = []
+    stats = DeclaredStatistics()
+    import math
+
+    for index, (a, b) in enumerate(edges):
+        name = f"{prefix}{index}"
+        card = math.exp(rng.uniform(math.log(min_card), math.log(max_card)))
+        distincts = [
+            max(1.0, card * rng.uniform(0.01, 1.0)),
+            max(1.0, card * rng.uniform(0.01, 1.0)),
+        ]
+        stats.declare(name, card, distincts)
+        body.append(Literal(name, (variables[a], variables[b])))
+    return ConjunctiveWorkload(tuple(body), stats, shape, seed)
+
+
+def generate_random_program(
+    seed: int = 0,
+    layers: int = 2,
+    width: int = 2,
+    domain_size: int = 12,
+    facts_per_relation: int = 30,
+):
+    """A random layered non-recursive rule base *with data*.
+
+    Returns ``(rules_text, facts, query)``: base relations ``b0..b3``
+    hold random binary facts over a small domain; each layer defines
+    *width* derived predicates joining two predicates from below (sharing
+    a variable), sometimes guarded by a disequality; ``top`` unions two
+    rules over the last layer.  Used by the cross-strategy equivalence
+    property tests — any optimizer strategy must return the same answers
+    on these.
+    """
+    rng = random.Random(seed)
+    domain = [f"d{i}" for i in range(domain_size)]
+    facts: dict[str, list[tuple]] = {}
+    for index in range(4):
+        rows = {
+            (rng.choice(domain), rng.choice(domain))
+            for __ in range(facts_per_relation)
+        }
+        facts[f"b{index}"] = sorted(rows)
+
+    available = [f"b{i}" for i in range(4)]
+    lines: list[str] = []
+    for layer in range(layers):
+        created = []
+        for index in range(width):
+            name = f"d{layer}_{index}"
+            left = rng.choice(available)
+            right = rng.choice(available)
+            guard = ", X != Y" if rng.random() < 0.4 else ""
+            lines.append(f"{name}(X, Y) <- {left}(X, Z), {right}(Z, Y){guard}.")
+            created.append(name)
+        available = available + created
+    top_sources = rng.sample(available[-(width * layers):] or available, k=min(2, len(available)))
+    for source in top_sources:
+        lines.append(f"top(X, Y) <- {source}(X, Y).")
+    return "\n".join(lines), facts, "top($X, Y)?"
+
+
+def generate_batch(
+    count: int,
+    n: int,
+    shapes: tuple[str, ...] = SHAPES,
+    seed: int = 0,
+    **kwargs,
+) -> list[ConjunctiveWorkload]:
+    """A batch of workloads cycling through the requested shapes."""
+    rng = random.Random(seed)
+    out = []
+    for index in range(count):
+        shape = shapes[index % len(shapes)]
+        out.append(generate_conjunctive(n, shape, seed=rng.randrange(2**31), **kwargs))
+    return out

@@ -1,0 +1,60 @@
+"""Shared fixtures: canonical programs, databases, and instances."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import KnowledgeBase
+from repro.datalog import parse_program
+from repro.storage import Database
+from repro.workloads import same_generation_instance
+
+#: The paper's same-generation clique (Section 7.3).
+SG_RULES = """
+sg(X, Y) <- up(X, X1), sg(Y1, X1), dn(Y1, Y).
+sg(X, Y) <- flat(X, Y).
+"""
+
+ANC_RULES = """
+anc(X, Y) <- par(X, Y).
+anc(X, Y) <- par(X, Z), anc(Z, Y).
+"""
+
+
+@pytest.fixture
+def sg_program():
+    return parse_program(SG_RULES)
+
+
+@pytest.fixture
+def anc_program():
+    return parse_program(ANC_RULES)
+
+
+@pytest.fixture
+def sg_db():
+    """A two-level binary sg tree."""
+    db = Database()
+    same_generation_instance(db, fanout=2, depth=3)
+    return db
+
+
+@pytest.fixture
+def family_kb():
+    """A small ancestor knowledge base used across integration tests."""
+    kb = KnowledgeBase()
+    kb.rules(ANC_RULES)
+    kb.facts(
+        "par",
+        [
+            ("abe", "homer"),
+            ("abe", "herb"),
+            ("homer", "bart"),
+            ("homer", "lisa"),
+            ("homer", "maggie"),
+            ("jackie", "marge"),
+            ("marge", "bart"),
+            ("marge", "lisa"),
+        ],
+    )
+    return kb

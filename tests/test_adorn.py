@@ -1,0 +1,120 @@
+"""Adornment tests — including the paper's published sg example (Sec 7.3)."""
+
+import pytest
+
+from repro.datalog.adorn import CPermutation, adorn_clique, enumerate_cpermutations
+from repro.datalog.bindings import BindingPattern
+from repro.datalog.graph import DependencyGraph
+from repro.datalog.literals import PredicateRef
+from repro.datalog.parser import parse_program
+from repro.errors import OptimizationError
+
+SG = """
+sg(X, Y) <- up(X, X1), sg(Y1, X1), dn(Y1, Y).
+sg(X, Y) <- flat(X, Y).
+"""
+
+
+def sg_clique():
+    program = parse_program(SG)
+    return DependencyGraph(program).recursive_cliques()[0]
+
+
+SG_REF = PredicateRef("sg", 2)
+
+#: the paper's SIP for the fb replica: dn first, then sg, then up
+PAPER_CPERM = CPermutation(choices={(0, BindingPattern("fb")): (2, 1, 0)})
+
+
+def rules_as_strings(adorned):
+    return {str(ar.rule) for ar in adorned.rules}
+
+
+def test_sg_bf_identity_sip():
+    adorned = adorn_clique(sg_clique(), SG_REF, BindingPattern("bf"))
+    assert adorned.query_predicate == "sg.bf"
+    assert rules_as_strings(adorned) == {
+        "sg.bf(X, Y) <- up(X, X1), sg.fb(Y1, X1), dn(Y1, Y).",
+        "sg.bf(X, Y) <- flat(X, Y).",
+        "sg.fb(X, Y) <- up(X, X1), sg.fb(Y1, X1), dn(Y1, Y).",
+        "sg.fb(X, Y) <- flat(X, Y).",
+    }
+
+
+def test_sg_bf_paper_sip():
+    """The paper's adorned clique for sg.bf: the fb replica runs dn first
+    and recurses through sg.bf — a two-predicate alternation."""
+    adorned = adorn_clique(sg_clique(), SG_REF, BindingPattern("bf"), PAPER_CPERM)
+    assert rules_as_strings(adorned) == {
+        "sg.bf(X, Y) <- up(X, X1), sg.fb(Y1, X1), dn(Y1, Y).",
+        "sg.bf(X, Y) <- flat(X, Y).",
+        "sg.fb(X, Y) <- dn(Y1, Y), sg.bf(Y1, X1), up(X, X1).",
+        "sg.fb(X, Y) <- flat(X, Y).",
+    }
+
+
+def test_sg_bb_reaches_three_adornments():
+    """For sg.bb the paper's adorned clique contains sg.bb, sg.fb and sg.bf."""
+    adorned = adorn_clique(sg_clique(), SG_REF, BindingPattern("bb"), PAPER_CPERM)
+    names = {ar.rule.head.predicate for ar in adorned.rules}
+    assert names == {"sg.bb", "sg.fb", "sg.bf"}
+
+
+def test_adornment_terminates_marking():
+    """The worklist marks (predicate, adornment) pairs: each replica appears once."""
+    adorned = adorn_clique(sg_clique(), SG_REF, BindingPattern("bb"), PAPER_CPERM)
+    seen = [(ar.rule.head.predicate, ar.source_index) for ar in adorned.rules]
+    assert len(seen) == len(set(seen))
+
+
+def test_literal_adornments_recorded():
+    adorned = adorn_clique(sg_clique(), SG_REF, BindingPattern("bf"))
+    recursive = next(ar for ar in adorned.rules if ar.is_recursive and ar.head_adornment.code == "bf")
+    assert [a.code for a in recursive.literal_adornments] == ["bf", "fb", "bf"]
+
+
+def test_external_goals_collected():
+    program = parse_program(
+        """
+        t(X, Y) <- e(X, Y).
+        t(X, Y) <- helper(X, Z), t(Z, Y).
+        helper(X, Y) <- e(X, Y), e(Y, X).
+        """
+    )
+    graph = DependencyGraph(program)
+    clique = graph.recursive_cliques()[0]
+    adorned = adorn_clique(
+        clique,
+        PredicateRef("t", 2),
+        BindingPattern("bf"),
+        derived_predicates=program.derived_predicates,
+    )
+    externals = {(str(l), p.code) for l, p in adorned.external_goals}
+    assert externals == {("helper(X, Z)", "bf")}
+
+
+def test_invalid_inputs_rejected():
+    clique = sg_clique()
+    with pytest.raises(OptimizationError):
+        adorn_clique(clique, PredicateRef("nope", 2), BindingPattern("bf"))
+    with pytest.raises(OptimizationError):
+        adorn_clique(clique, SG_REF, BindingPattern("b"))
+    bad = CPermutation(defaults={0: (0, 0, 1)})
+    with pytest.raises(OptimizationError):
+        adorn_clique(clique, SG_REF, BindingPattern("bf"), bad)
+
+
+def test_enumerate_cpermutations_counts():
+    clique = sg_clique()
+    # rule bodies: 3 literals and 1 literal -> 3! * 1! = 6 c-permutations
+    perms = list(enumerate_cpermutations(clique, SG_REF, BindingPattern("bf")))
+    assert len(perms) == 6
+    capped = list(enumerate_cpermutations(clique, SG_REF, BindingPattern("bf"), max_count=2))
+    assert len(capped) == 2
+
+
+def test_cpermutation_key_hashable():
+    key1 = PAPER_CPERM.key()
+    key2 = CPermutation(choices={(0, BindingPattern("fb")): (2, 1, 0)}).key()
+    assert key1 == key2
+    assert hash(key1) == hash(key2)

@@ -1,0 +1,139 @@
+"""Tests for binding patterns, SIPs and query forms (Section 2 machinery)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.datalog.bindings import (
+    BindingPattern,
+    QueryForm,
+    adorned_name,
+    adornment_sequence,
+    all_binding_patterns,
+    binds_after,
+    head_bound_vars,
+    is_invertible_pattern,
+    sip_bindings,
+    split_adorned_name,
+)
+from repro.datalog.parser import parse_literal, parse_rule
+from repro.datalog.terms import Variable
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+
+
+def test_binding_pattern_basics():
+    p = BindingPattern("bfb")
+    assert p.bound_positions == (0, 2)
+    assert p.free_positions == (1,)
+    assert p.bound_count == 2
+    assert p.is_bound(0) and not p.is_bound(1)
+    assert str(p) == "bfb"
+
+
+def test_binding_pattern_validation():
+    with pytest.raises(ValueError):
+        BindingPattern("bx")
+
+
+def test_all_free_all_bound():
+    assert BindingPattern.all_free(3).code == "fff"
+    assert BindingPattern.all_bound(2).is_all_bound
+    assert BindingPattern.all_free(2).is_all_free
+
+
+def test_of_literal_complex_args():
+    literal = parse_literal("p(f(X, Y), Z)")
+    assert BindingPattern.of_literal(literal, frozenset({X, Y})).code == "bf"
+    assert BindingPattern.of_literal(literal, frozenset({X})).code == "ff"
+    # constants are always bound
+    assert BindingPattern.of_literal(parse_literal("p(a, Z)"), frozenset()).code == "bf"
+
+
+def test_subsumes():
+    assert BindingPattern("bf").subsumes(BindingPattern("bb"))
+    assert not BindingPattern("bb").subsumes(BindingPattern("bf"))
+
+
+def test_adorned_name_roundtrip():
+    name = adorned_name("sg", BindingPattern("bf"))
+    assert name == "sg.bf"
+    base, pattern = split_adorned_name(name)
+    assert base == "sg" and pattern.code == "bf"
+    assert split_adorned_name("plain") == ("plain", None)
+
+
+def test_all_binding_patterns_counts():
+    patterns = all_binding_patterns(3)
+    assert len(patterns) == 8
+    assert patterns[0].is_all_bound
+    assert patterns[-1].is_all_free
+
+
+def test_sip_bindings_basic():
+    rule = parse_rule("sg(X, Y) <- up(X, X1), sg(Y1, X1), dn(Y1, Y).")
+    entries = sip_bindings(rule.body, frozenset({X}))
+    assert entries[0] == {X}
+    assert entries[1] == {X, Variable("X1")}
+    assert entries[2] == {X, Variable("X1"), Variable("Y1")}
+
+
+def test_adornment_sequence_matches_paper():
+    rule = parse_rule("sg(X, Y) <- up(X, X1), sg(Y1, X1), dn(Y1, Y).")
+    adornments = adornment_sequence(rule.body, frozenset({X}))
+    # up enters with X bound; sg with X1 bound; dn with Y1 bound (from sg)
+    assert [a.code for a in adornments] == ["bf", "fb", "bf"]
+
+
+def test_binds_after_equality_patterns():
+    eq = parse_literal("Z = X + 1")
+    assert binds_after(eq, frozenset({X})) == {X, Z}
+    # not invertible: X+1 cannot be solved from Z
+    assert binds_after(eq, frozenset({Z})) == {Z}
+    # constructor terms are invertible
+    decon = parse_literal("pair(A, B) = P")
+    assert binds_after(decon, frozenset({Variable("P")})) >= {Variable("A"), Variable("B")}
+
+
+def test_binds_after_comparison_and_negation():
+    assert binds_after(parse_literal("X < Y"), frozenset({X})) == {X}
+    negated = parse_literal("~p(X, Y)")
+    assert binds_after(negated, frozenset({X})) == {X}
+
+
+def test_is_invertible_pattern():
+    assert is_invertible_pattern(parse_literal("p(f(A))").args[0], frozenset())
+    plus = parse_literal("Z = A + 1").args[1]
+    assert not is_invertible_pattern(plus, frozenset())
+    assert is_invertible_pattern(plus, frozenset({Variable("A")}))
+
+
+def test_head_bound_vars():
+    rule = parse_rule("p(f(X), Y) <- q(X, Y).")
+    assert head_bound_vars(rule.head, BindingPattern("bf")) == {X}
+    with pytest.raises(ValueError):
+        head_bound_vars(rule.head, BindingPattern("b"))
+
+
+def test_query_form_properties():
+    from repro.datalog.parser import parse_query
+
+    form = parse_query("p($A, B, f(C))?")
+    assert form.adornment.code == "bff"
+    assert form.output_vars == (Variable("B"), Variable("C"))
+    assert form.adorned_predicate == "p.bff"
+    assert form.free_vars == {Variable("B"), Variable("C")}
+
+
+@given(st.integers(0, 6))
+def test_all_binding_patterns_unique(arity):
+    patterns = all_binding_patterns(arity)
+    assert len(set(p.code for p in patterns)) == 2 ** arity
+
+
+@given(st.sets(st.sampled_from([X, Y, Z])))
+def test_sip_monotone(bound):
+    """Bound sets grow monotonically along any SIP."""
+    rule = parse_rule("p(X) <- q(X, Y), Y > 1, r(Y, Z), Z = Y + 1.")
+    entries = sip_bindings(rule.body, frozenset(bound))
+    for earlier, later in zip(entries, entries[1:]):
+        assert earlier <= later

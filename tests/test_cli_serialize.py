@@ -1,0 +1,162 @@
+"""CLI and plan-serialization tests."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.plans.serialize import plan_to_dict, plan_to_json
+
+FAMILY = """
+anc(X, Y) <- par(X, Y).
+anc(X, Y) <- par(X, Z), anc(Z, Y).
+par(abe, homer).
+par(homer, bart).
+par(homer, lisa).
+"""
+
+
+@pytest.fixture
+def family_file(tmp_path):
+    path = tmp_path / "family.ldl"
+    path.write_text(FAMILY)
+    return path
+
+
+def run_cli(*argv, stdin_text=""):
+    out = io.StringIO()
+    status = main(list(argv), stdin=io.StringIO(stdin_text), stdout=out)
+    return status, out.getvalue()
+
+
+def test_batch_query(family_file):
+    status, out = run_cli(str(family_file), "-q", "anc(abe, Y)?")
+    assert status == 0
+    assert "'bart'" in out and "'lisa'" in out and "'homer'" in out
+
+
+def test_bound_query_form(family_file):
+    status, out = run_cli(str(family_file), "-q", "anc($X, Y)?", "-b", "X=homer")
+    assert status == 0
+    assert "'bart'" in out and "'homer'" not in out.split("rows)")[1]
+
+
+def test_boolean_query(family_file):
+    __, out_true = run_cli(str(family_file), "-q", "anc(abe, bart)?")
+    __, out_false = run_cli(str(family_file), "-q", "anc(bart, abe)?")
+    assert "true." in out_true
+    assert "false." in out_false
+
+
+def test_explain_flag(family_file):
+    status, out = run_cli(str(family_file), "-q", "anc(abe, Y)?", "--explain")
+    assert status == 0
+    assert "CC anc/2" in out
+
+
+def test_json_flag(family_file):
+    status, out = run_cli(str(family_file), "-q", "anc(abe, Y)?", "--json")
+    assert status == 0
+    payload = json.loads(out.split("loaded", 1)[1].split("\n", 1)[1])
+    assert payload["node"] == "or"
+
+
+def test_unknown_query_reports_error(family_file):
+    status, out = run_cli(str(family_file), "-q", "mystery(X)?")
+    assert status == 1
+    assert "error:" in out
+
+
+def test_missing_file():
+    status, out = run_cli("no_such_file.ldl")
+    assert status == 1
+    assert "error:" in out
+
+
+def test_bad_binding_syntax():
+    with pytest.raises(SystemExit):
+        run_cli("-b", "novalue")
+
+
+def test_strategy_flag(family_file):
+    status, out = run_cli(str(family_file), "--strategy", "kbz", "-q", "anc(abe, Y)?")
+    assert status == 0
+
+
+def test_repl_session(family_file):
+    session = "\n".join(
+        [
+            "gp(X, Z) <- par(X, Y), par(Y, Z).",
+            "gp(abe, Z)?",
+            ":relations",
+            ":explain gp(abe, Z)?",
+            "nonsense(",  # buffered, then completed:
+            "X)?",
+            ":quit",
+        ]
+    ) + "\n"
+    status, out = run_cli(str(family_file), "-i", stdin_text=session)
+    assert status == 0
+    assert "ok (1 rules)" in out
+    assert "'bart'" in out
+    assert "par/2" in out
+    assert "OR __query__" in out or "AND" in out
+    assert "error:" in out  # the nonsense query
+
+
+def test_repl_error_recovery(family_file):
+    session = "anc(abe Y)?\n:quit\n"  # parse error, then quit
+    status, out = run_cli(str(family_file), "-i", stdin_text=session)
+    assert status == 0
+    assert "error:" in out
+
+
+# -- serialization ----------------------------------------------------------------
+
+
+def make_plan():
+    from repro import KnowledgeBase
+
+    kb = KnowledgeBase()
+    kb.rules(FAMILY)
+    return kb.compile("anc($X, Y)?").plan
+
+
+def test_plan_to_dict_structure():
+    plan = make_plan()
+    data = plan_to_dict(plan)
+    assert data["node"] == "or"
+    assert data["binding"] == "bf"
+    wrapper = data["children"][0]
+    assert wrapper["node"] == "and"
+    step = wrapper["steps"][0]
+    assert step["child"]["node"] == "cc"
+    assert step["child"]["method"] in ("magic", "supplementary", "counting", "seminaive")
+    assert isinstance(step["child"]["program"], list)
+
+
+def test_plan_to_json_roundtrips_through_json():
+    plan = make_plan()
+    payload = json.loads(plan_to_json(plan))
+    assert payload["node"] == "or"
+
+
+def test_infinite_costs_serialize():
+    from repro.cost.model import Estimate
+    from repro.datalog import BindingPattern, PredicateRef, parse_rule
+    from repro.plans.nodes import JoinNode, UnionNode
+
+    rule = parse_rule("p(X) <- q(X).")
+    node = UnionNode(
+        PredicateRef("p", 1), BindingPattern("f"),
+        (JoinNode(rule, BindingPattern("f"), (), Estimate.unsafe()),),
+        Estimate.unsafe(),
+    )
+    data = plan_to_dict(node)
+    assert data["est"]["cost"] == "inf"
+
+
+def test_serialize_rejects_non_plan():
+    with pytest.raises(TypeError):
+        plan_to_dict("not a plan")

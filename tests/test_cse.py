@@ -1,0 +1,151 @@
+"""Common subexpression elimination (paper Section 9)."""
+
+import pytest
+
+from repro.datalog import PredicateRef, parse_literal, parse_program, parse_query
+from repro.engine import evaluate_program
+from repro.optimizer.cse import (
+    anti_unify,
+    anti_unify_literals,
+    eliminate_common_subexpressions,
+    factor_segment,
+    find_common_segments,
+)
+from repro.datalog.terms import Constant, Variable
+from repro.storage import Database
+from repro.storage.statistics import DeclaredStatistics
+
+SHARED = """
+report_a(X, W) <- emp(X, D), dept(D, M), salary(M, W).
+report_b(X, M) <- emp(X, D), dept(D, M), located(M, hq).
+report_c(X) <- emp(X, D), bonus(D).
+"""
+
+
+def test_find_common_segments_detects_shared_join():
+    program = parse_program(SHARED)
+    segments = find_common_segments(program)
+    assert segments
+    top = segments[0]
+    predicates = sorted(l.predicate for l in top.representative)
+    assert predicates == ["dept", "emp"]
+    assert len(top.occurrences) == 2
+
+
+def test_segments_must_be_connected():
+    program = parse_program(
+        """
+        a(X, Y) <- p(X), q(Y).
+        b(X, Y) <- p(X), q(Y).
+        """
+    )
+    # p(X), q(Y) share no variable: not a candidate
+    assert find_common_segments(program) == []
+
+
+def test_renamed_occurrences_match():
+    program = parse_program(
+        """
+        a(U) <- e(U, V), f(V, W).
+        b(P) <- e(P, Q), f(Q, R).
+        """
+    )
+    segments = find_common_segments(program)
+    assert len(segments) == 1
+    assert len(segments[0].occurrences) == 2
+
+
+def test_factor_segment_preserves_semantics():
+    program = parse_program(SHARED)
+    segment = find_common_segments(program)[0]
+    factored = factor_segment(program, segment, "cse_test")
+
+    db = Database()
+    db.load("emp", [("ann", "eng"), ("bob", "ops"), ("cal", "eng")])
+    db.load("dept", [("eng", "meg"), ("ops", "oli")])
+    db.load("salary", [("meg", 90), ("oli", 80)])
+    db.load("located", [("meg", "hq")])
+    db.load("bonus", [("eng",)])
+
+    before = evaluate_program(db, program)
+    after = evaluate_program(db, factored)
+    for pred in ("report_a", "report_b", "report_c"):
+        assert before[pred] == after[pred], pred
+    assert PredicateRef("cse_test", 3) in factored.derived_predicates
+
+
+def test_hill_climbing_accepts_only_improvements():
+    program = parse_program(SHARED)
+    stats = DeclaredStatistics()
+    stats.declare("emp", 10_000, [10_000, 50])
+    stats.declare("dept", 50, [50, 50])
+    stats.declare("salary", 50, [50, 40])
+    stats.declare("located", 50, [50, 5])
+    stats.declare("bonus", 10, [10])
+    query = parse_query("report_a(X, W)?")
+    rewritten, log = eliminate_common_subexpressions(program, stats, query)
+    # whatever happened, the result still optimizes and runs
+    db = Database()
+    db.load("emp", [("ann", "eng")])
+    db.load("dept", [("eng", "meg")])
+    db.load("salary", [("meg", 90)])
+    db.load("located", [("meg", "hq")])
+    db.load("bonus", [("eng",)])
+    assert (
+        evaluate_program(db, rewritten)["report_a"]
+        == evaluate_program(db, program)["report_a"]
+    )
+    # and the log matches whether the program changed
+    assert (rewritten == program) == (not log)
+
+
+def test_no_candidates_returns_program_unchanged():
+    program = parse_program("only(X) <- solo(X).")
+    stats = DeclaredStatistics()
+    stats.declare("solo", 10, [10])
+    rewritten, log = eliminate_common_subexpressions(
+        program, stats, parse_query("only(X)?")
+    )
+    assert rewritten == program and log == []
+
+
+# -- anti-unification --------------------------------------------------------------
+
+
+def test_anti_unify_papers_example():
+    """P(a,b,X) vs P(a,Y,c) generalize to P(a, _, _) — 'computing
+    P(a,Y,X) once and restricting the result'."""
+    left = parse_literal("p(a, b, X)")
+    right = parse_literal("p(a, Y, c)")
+    general = anti_unify_literals(left, right)
+    assert general is not None
+    assert general.args[0] == Constant("a")
+    assert isinstance(general.args[1], Variable)
+    assert isinstance(general.args[2], Variable)
+
+
+def test_anti_unify_identical_terms():
+    term = parse_literal("p(f(X), 1)").args[0]
+    assert anti_unify(term, term) == term
+
+
+def test_anti_unify_consistent_mismatches():
+    """The same mismatch pair maps to the same variable (lgg property)."""
+    left = parse_literal("p(a, a)")
+    right = parse_literal("p(b, b)")
+    general = anti_unify_literals(left, right)
+    assert general.args[0] == general.args[1]
+
+
+def test_anti_unify_structs():
+    left = parse_literal("p(f(a, b))").args[0]
+    right = parse_literal("p(f(a, c))").args[0]
+    out = anti_unify(left, right)
+    assert out.functor == "f"
+    assert out.args[0] == Constant("a")
+    assert isinstance(out.args[1], Variable)
+
+
+def test_anti_unify_literals_mismatched():
+    assert anti_unify_literals(parse_literal("p(X)"), parse_literal("q(X)")) is None
+    assert anti_unify_literals(parse_literal("p(X)"), parse_literal("p(X, Y)")) is None

@@ -1,0 +1,26 @@
+"""Docstring examples must stay runnable — they are the first thing a
+reader tries."""
+
+import doctest
+import importlib
+
+import pytest
+
+MODULES = [
+    "repro",
+    "repro.kb",
+    "repro.datalog.terms",
+    "repro.datalog.unify",
+    "repro.datalog.literals",
+    "repro.datalog.bindings",
+    "repro.datalog.parser",
+    "repro.datalog.rewrite",
+    "repro.storage.relation",
+]
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_doctests(module_name):
+    module = importlib.import_module(module_name)
+    result = doctest.testmod(module, verbose=False)
+    assert result.failed == 0, f"{result.failed} doctest failures in {module_name}"

@@ -1,0 +1,99 @@
+"""DOT rendering and cost-model calibration."""
+
+import pytest
+
+from repro import KnowledgeBase
+from repro.cost.calibrate import (
+    CalibrationResult,
+    calibrate_cost_params,
+    kendall_tau,
+)
+from repro.plans.dot import plan_to_dot
+
+
+def make_plan():
+    kb = KnowledgeBase()
+    kb.rules(
+        """
+        anc(X, Y) <- par(X, Y).
+        anc(X, Y) <- par(X, Z), anc(Z, Y).
+        named(X, Y) <- anc(X, Y), name(Y, N).
+        """
+    )
+    kb.facts("par", [("a", "b"), ("b", "c")])
+    kb.facts("name", [("b", "bee"), ("c", "sea")])
+    return kb.compile("named($X, Y)?").plan
+
+
+# -- DOT ------------------------------------------------------------------
+
+
+def test_dot_structure():
+    dot = plan_to_dot(make_plan())
+    assert dot.startswith("digraph plan {")
+    assert dot.rstrip().endswith("}")
+    assert "shape=ellipse" in dot      # OR nodes
+    assert "shape=box" in dot          # AND nodes / materialized steps
+    assert "shape=doubleoctagon" in dot  # CC node
+    assert "->" in dot
+
+
+def test_dot_escapes_quotes():
+    kb = KnowledgeBase()
+    kb.rules('p(X) <- q(X, "quo\\"ted").')
+    kb.facts("q", [("a", 'quo"ted')])
+    dot = plan_to_dot(kb.compile("p(X)?").plan)
+    # every label line must be well-formed: unescaped quotes balanced
+    import re
+
+    for line in dot.splitlines():
+        unescaped = re.findall(r'(?<!\\)"', line)
+        assert len(unescaped) % 2 == 0, line
+
+
+def test_dot_custom_name():
+    dot = plan_to_dot(make_plan(), name="myplan")
+    assert dot.startswith("digraph myplan {")
+
+
+# -- Kendall tau -------------------------------------------------------------
+
+
+def test_kendall_tau_perfect_and_inverse():
+    assert kendall_tau([1, 2, 3], [10, 20, 30]) == 1.0
+    assert kendall_tau([1, 2, 3], [30, 20, 10]) == -1.0
+    assert kendall_tau([1.0], [5.0]) == 1.0
+
+
+def test_kendall_tau_partial():
+    tau = kendall_tau([1, 2, 3, 4], [1, 3, 2, 4])
+    assert 0 < tau < 1
+
+
+# -- calibration -----------------------------------------------------------------
+
+
+def test_calibration_runs_and_never_degrades():
+    result = calibrate_cost_params(seed=3, probes=4)
+    assert isinstance(result, CalibrationResult)
+    assert result.tau_after >= result.tau_before
+    assert result.samples
+    # the calibrated model must rank well on its own probes
+    assert result.tau_after > 0.4
+
+
+def test_calibration_deterministic():
+    a = calibrate_cost_params(seed=5, probes=3)
+    b = calibrate_cost_params(seed=5, probes=3)
+    assert a.params == b.params
+    assert a.tau_after == b.tau_after
+
+
+def test_calibrated_params_usable():
+    from repro import OptimizerConfig
+
+    result = calibrate_cost_params(seed=1, probes=3)
+    kb = KnowledgeBase(OptimizerConfig(params=result.params))
+    kb.rules("p(X, Y) <- e(X, Y).")
+    kb.facts("e", [("a", 1)])
+    assert kb.ask("p(X, Y)?").to_python() == [("a", 1)]

@@ -1,0 +1,131 @@
+"""Evaluable-predicate execution tests (the built-in routines of Sec. 8)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.datalog.parser import parse_literal
+from repro.datalog.terms import Constant, Struct, Variable
+from repro.engine.evaluable import (
+    compare_terms,
+    eval_term,
+    solve_comparison,
+    term_sort_key,
+)
+from repro.errors import ExecutionError
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+
+
+def test_eval_arithmetic():
+    term = parse_literal("Z = (X + 2) * Y").args[1]
+    out = eval_term(term, {X: Constant(3), Y: Constant(4)})
+    assert out == Constant(20)
+
+
+def test_eval_all_operators():
+    cases = {
+        "X + Y": 7, "X - Y": 3, "X * Y": 10, "X // Y": 2, "X mod Y": 1,
+        "X ** Y": 25, "X / Y": 2.5,
+    }
+    binding = {X: Constant(5), Y: Constant(2)}
+    for text, expected in cases.items():
+        term = parse_literal(f"Z = {text}").args[1]
+        assert eval_term(term, binding) == Constant(expected)
+
+
+def test_eval_unary_and_builtin():
+    assert eval_term(Struct("neg", (Constant(3),)), {}) == Constant(-3)
+    assert eval_term(Struct("abs", (Constant(-3),)), {}) == Constant(3)
+    assert eval_term(Struct("min", (Constant(2), Constant(5))), {}) == Constant(2)
+    assert eval_term(Struct("max", (Constant(2), Constant(5))), {}) == Constant(5)
+
+
+def test_eval_unbound_raises():
+    term = parse_literal("Z = X + 1").args[1]
+    with pytest.raises(ExecutionError):
+        eval_term(term, {})
+
+
+def test_eval_non_numeric_raises():
+    term = parse_literal("Z = X + 1").args[1]
+    with pytest.raises(ExecutionError):
+        eval_term(term, {X: Constant("text")})
+
+
+def test_division_by_zero():
+    term = parse_literal("Z = X / 0").args[1]
+    with pytest.raises(ExecutionError):
+        eval_term(term, {X: Constant(1)})
+
+
+def test_structural_terms_pass_through():
+    term = Struct("f", (X,))
+    assert eval_term(term, {X: Constant(1)}) == Struct("f", (Constant(1),))
+
+
+def test_solve_equality_binds():
+    out = solve_comparison(parse_literal("Z = X + 1"), {X: Constant(2)})
+    assert out[Z] == Constant(3)
+
+
+def test_solve_equality_checks():
+    assert solve_comparison(parse_literal("X = 3"), {X: Constant(3)}) is not None
+    assert solve_comparison(parse_literal("X = 3"), {X: Constant(4)}) is None
+
+
+def test_solve_equality_decomposes_structs():
+    out = solve_comparison(
+        parse_literal("pair(A, B) = P"),
+        {Variable("P"): Struct("pair", (Constant(1), Constant(2)))},
+    )
+    assert out[Variable("A")] == Constant(1)
+    assert out[Variable("B")] == Constant(2)
+
+
+def test_solve_equality_both_unbound_raises():
+    with pytest.raises(ExecutionError):
+        solve_comparison(parse_literal("X = Y"), {})
+
+
+def test_solve_equality_noninvertible_raises():
+    with pytest.raises(ExecutionError):
+        solve_comparison(parse_literal("5 = X + 1"), {})
+
+
+def test_solve_orderings():
+    binding = {X: Constant(1), Y: Constant(2)}
+    assert solve_comparison(parse_literal("X < Y"), binding) is not None
+    assert solve_comparison(parse_literal("X > Y"), binding) is None
+    assert solve_comparison(parse_literal("X <= 1"), binding) is not None
+    assert solve_comparison(parse_literal("X != Y"), binding) is not None
+    assert solve_comparison(parse_literal("X >= Y"), binding) is None
+
+
+def test_solve_comparison_unbound_raises():
+    with pytest.raises(ExecutionError):
+        solve_comparison(parse_literal("X < Y"), {X: Constant(1)})
+
+
+def test_comparison_evaluates_arithmetic():
+    out = solve_comparison(parse_literal("X + 1 < Y * 2"), {X: Constant(1), Y: Constant(2)})
+    assert out is not None
+
+
+def test_compare_terms_total_order():
+    assert compare_terms(Constant(1), Constant(2)) == -1
+    assert compare_terms(Constant("a"), Constant("b")) == -1
+    assert compare_terms(Constant(1), Constant("a")) == -1  # numbers < strings
+    assert compare_terms(Constant("z"), Struct("f", ())) == -1  # strings < structs
+    assert compare_terms(Constant(2), Constant(2.0)) == 0
+
+
+@given(st.integers(-50, 50), st.integers(-50, 50))
+def test_compare_agrees_with_python(a, b):
+    expected = -1 if a < b else (1 if a > b else 0)
+    assert compare_terms(Constant(a), Constant(b)) == expected
+
+
+@given(st.lists(st.integers(-20, 20), min_size=1, max_size=10))
+def test_sort_key_is_consistent(values):
+    terms = [Constant(v) for v in values]
+    assert sorted(terms, key=term_sort_key) == [Constant(v) for v in sorted(values)]

@@ -1,0 +1,222 @@
+"""Fixpoint engine tests: semantics, strategies, stratification, guards."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datalog import parse_program
+from repro.datalog.terms import Constant
+from repro.engine.fixpoint import FixpointEngine, evaluate_program
+from repro.errors import ExecutionError
+from repro.storage import Database
+from repro.workloads import random_dag, random_graph
+
+
+def values(rows):
+    return {tuple(f.value for f in row) for row in rows}
+
+
+def tc_db(edges):
+    db = Database()
+    db.load("e", edges)
+    return db
+
+
+TC = "t(X, Y) <- e(X, Y). t(X, Y) <- e(X, Z), t(Z, Y)."
+
+
+def python_tc(edges):
+    """Reference transitive closure in plain Python."""
+    out = set(edges)
+    changed = True
+    while changed:
+        changed = False
+        for (a, b) in list(out):
+            for (c, d) in list(out):
+                if b == c and (a, d) not in out:
+                    out.add((a, d))
+                    changed = True
+    return out
+
+
+def test_transitive_closure_chain():
+    edges = [("a", "b"), ("b", "c"), ("c", "d")]
+    result = evaluate_program(tc_db(edges), parse_program(TC))
+    assert values(result["t"]) == python_tc(edges)
+
+
+def test_transitive_closure_cycle_terminates():
+    edges = [("a", "b"), ("b", "a")]
+    result = evaluate_program(tc_db(edges), parse_program(TC))
+    assert values(result["t"]) == {("a", "b"), ("b", "a"), ("a", "a"), ("b", "b")}
+
+
+def test_naive_equals_seminaive():
+    edges = [("a", "b"), ("b", "c"), ("c", "a"), ("c", "d")]
+    db = tc_db(edges)
+    semi = evaluate_program(db, parse_program(TC))
+    naive = evaluate_program(db, parse_program(TC), naive=True)
+    assert semi["t"] == naive["t"]
+    # and semi-naive does less work
+    assert semi.profiler.total_work <= naive.profiler.total_work
+
+
+def test_mutual_recursion():
+    program = parse_program(
+        """
+        even(X) <- zero(X).
+        even(Y) <- succ(X, Y), odd(X).
+        odd(Y) <- succ(X, Y), even(X).
+        """
+    )
+    db = Database()
+    db.load("zero", [(0,)])
+    db.load("succ", [(i, i + 1) for i in range(6)])
+    result = evaluate_program(db, program)
+    assert values(result["even"]) == {(0,), (2,), (4,), (6,)}
+    assert values(result["odd"]) == {(1,), (3,), (5,)}
+
+
+def test_nonrecursive_layering():
+    program = parse_program(
+        """
+        gp(X, Z) <- par(X, Y), par(Y, Z).
+        ggp(X, W) <- gp(X, Z), par(Z, W).
+        """
+    )
+    db = Database()
+    db.load("par", [("a", "b"), ("b", "c"), ("c", "d")])
+    result = evaluate_program(db, program)
+    assert values(result["gp"]) == {("a", "c"), ("b", "d")}
+    assert values(result["ggp"]) == {("a", "d")}
+
+
+def test_comparisons_in_rules():
+    program = parse_program("big(X, Y) <- m(X, Y), Y > 10.")
+    db = Database()
+    db.load("m", [("a", 5), ("b", 15)])
+    result = evaluate_program(db, program)
+    assert values(result["big"]) == {("b", 15)}
+
+
+def test_arithmetic_binding_in_rules():
+    program = parse_program("next(X, Y) <- num(X), Y = X + 1.")
+    db = Database()
+    db.load("num", [(1,), (2,)])
+    result = evaluate_program(db, program)
+    assert values(result["next"]) == {(1, 2), (2, 3)}
+
+
+def test_body_reordering_makes_textual_unsafe_order_work():
+    # evaluable predicate textually first: greedy reorder must fix it
+    program = parse_program("next(X, Y) <- Y = X + 1, num(X).")
+    db = Database()
+    db.load("num", [(1,)])
+    result = evaluate_program(db, program)
+    assert values(result["next"]) == {(1, 2)}
+
+
+def test_trusted_order_raises_when_unsafe():
+    program = parse_program("next(X, Y) <- Y = X + 1, num(X).")
+    db = Database()
+    db.load("num", [(1,)])
+    with pytest.raises(ExecutionError):
+        evaluate_program(db, program, reorder_bodies=False)
+
+
+def test_stratified_negation():
+    program = parse_program(
+        """
+        reach(X, Y) <- e(X, Y).
+        reach(X, Y) <- e(X, Z), reach(Z, Y).
+        cut(X, Y) <- e(X, Y), ~reach(Y, X).
+        """
+    )
+    db = tc_db([("a", "b"), ("b", "a"), ("b", "c")])
+    result = evaluate_program(db, program)
+    assert values(result["cut"]) == {("b", "c")}
+
+
+def test_unstratified_rejected():
+    from repro.errors import KnowledgeBaseError
+
+    program = parse_program("win(X) <- move(X, Y), ~win(Y).")
+    db = Database()
+    db.load("move", [("a", "b")])
+    with pytest.raises(KnowledgeBaseError):
+        evaluate_program(db, program)
+
+
+def test_unknown_predicate_raises():
+    program = parse_program("p(X) <- mystery(X).")
+    with pytest.raises(ExecutionError):
+        evaluate_program(Database(), program)
+
+
+def test_arity_mismatch_raises():
+    program = parse_program("p(X) <- e(X).")
+    db = Database()
+    db.load("e", [("a", "b")])
+    with pytest.raises(ExecutionError):
+        evaluate_program(db, program)
+
+
+def test_iteration_guard_stops_value_invention():
+    program = parse_program("nat(Y) <- nat0(Y). nat(Y) <- nat(X), Y = X + 1.")
+    db = Database()
+    db.load("nat0", [(0,)])
+    engine = FixpointEngine(db, max_iterations=50)
+    with pytest.raises(ExecutionError):
+        engine.evaluate(parse_program("nat(Y) <- nat0(Y). nat(Y) <- nat(X), Y = X + 1."))
+
+
+def test_tuple_guard():
+    program = parse_program(TC)
+    db = tc_db([(f"n{i}", f"n{j}") for i in range(15) for j in range(15) if i != j])
+    engine = FixpointEngine(db, max_tuples=10)
+    with pytest.raises(ExecutionError):
+        engine.evaluate(program)
+
+
+def test_seeds_participate():
+    program = parse_program("t(X, Y) <- seedrel(X), e(X, Y).")
+    db = tc_db([("a", "b"), ("c", "d")])
+    result = evaluate_program(db, program, seeds={"seedrel": {(Constant("a"),)}})
+    assert values(result["t"]) == {("a", "b")}
+
+
+def test_function_symbols_in_fixpoint():
+    """Structural recursion over stored complex terms: all suffixes of a list."""
+    program = parse_program(
+        """
+        suffix(L, L) <- list(L).
+        suffix(T, L) <- suffix(cons(H, T), L).
+        """
+    )
+    db = Database()
+    from repro.datalog.terms import Constant as C, make_list
+
+    lst = make_list([C(1), C(2)])
+    db.create("list", 1).insert((lst,))
+    result = evaluate_program(db, program)
+    suffixes = {row[0] for row in result["suffix"]}
+    assert suffixes == {lst, make_list([C(2)]), C("nil")}
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 10_000))
+def test_tc_matches_reference_on_random_graphs(seed):
+    db = Database()
+    random_graph(db, "e", nodes=8, edges=14, seed=seed)
+    edges = {tuple(f.value for f in row) for row in db.relation("e")}
+    result = evaluate_program(db, parse_program(TC))
+    assert values(result["t"]) == python_tc(edges)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 10_000))
+def test_naive_equals_seminaive_property(seed):
+    db = Database()
+    random_dag(db, "e", nodes=10, edges=18, seed=seed)
+    semi = evaluate_program(db, parse_program(TC))
+    naive = evaluate_program(db, parse_program(TC), naive=True)
+    assert semi["t"] == naive["t"]

@@ -1,0 +1,138 @@
+"""Dependency graph, cliques, stratification (Section 2 definitions)."""
+
+import pytest
+
+from repro.datalog.graph import DependencyGraph
+from repro.datalog.literals import PredicateRef
+from repro.datalog.parser import parse_program
+from repro.errors import KnowledgeBaseError
+
+
+def refs(*names):
+    return [PredicateRef(n, 2) for n in names]
+
+
+def test_implies_and_recursive():
+    program = parse_program(
+        """
+        p(X, Y) <- q(X, Y).
+        q(X, Y) <- r(X, Y).
+        r(X, Y) <- base(X, Y).
+        """
+    )
+    g = DependencyGraph(program)
+    p, q, r = refs("p", "q", "r")
+    assert g.implies(q, p)
+    assert g.implies(r, p)  # transitivity
+    assert not g.implies(p, r)
+    assert not g.is_recursive(p)
+
+
+def test_self_recursion():
+    program = parse_program("t(X, Y) <- e(X, Y). t(X, Y) <- e(X, Z), t(Z, Y).")
+    g = DependencyGraph(program)
+    t = PredicateRef("t", 2)
+    assert g.is_recursive(t)
+    cliques = g.recursive_cliques()
+    assert len(cliques) == 1
+    assert cliques[0].predicates == {t}
+    assert len(cliques[0].recursive_rules) == 1
+    assert len(cliques[0].exit_rules) == 1
+
+
+def test_mutual_recursion_single_clique():
+    program = parse_program(
+        """
+        even(X) <- zero(X).
+        even(X) <- pred(X, Y), odd(Y).
+        odd(X) <- pred(X, Y), even(Y).
+        """
+    )
+    g = DependencyGraph(program)
+    cliques = g.recursive_cliques()
+    assert len(cliques) == 1
+    names = {r.name for r in cliques[0].predicates}
+    assert names == {"even", "odd"}
+
+
+def test_two_cliques_follow_order():
+    program = parse_program(
+        """
+        a(X, Y) <- e(X, Y).
+        a(X, Y) <- e(X, Z), a(Z, Y).
+        b(X, Y) <- a(X, Y).
+        b(X, Y) <- f(X, Z), b(Z, Y).
+        """
+    )
+    g = DependencyGraph(program)
+    cliques = {next(iter(c.predicates)).name: c for c in g.recursive_cliques()}
+    assert set(cliques) == {"a", "b"}
+    assert g.follows(cliques["b"], cliques["a"])
+    assert not g.follows(cliques["a"], cliques["b"])
+
+
+def test_evaluation_order_callees_first():
+    program = parse_program(
+        """
+        top(X, Y) <- mid(X, Y).
+        mid(X, Y) <- bot(X, Y).
+        bot(X, Y) <- base(X, Y).
+        """
+    )
+    g = DependencyGraph(program)
+    order = [next(iter(c)).name for c in g.evaluation_order() if len(c) == 1]
+    assert order.index("bot") < order.index("mid") < order.index("top")
+
+
+def test_clique_linearity():
+    linear = parse_program("t(X, Y) <- e(X, Y). t(X, Y) <- e(X, Z), t(Z, Y).")
+    nonlinear = parse_program("t(X, Y) <- e(X, Y). t(X, Y) <- t(X, Z), t(Z, Y).")
+    assert DependencyGraph(linear).recursive_cliques()[0].is_linear
+    assert not DependencyGraph(nonlinear).recursive_cliques()[0].is_linear
+
+
+def test_reachable_from():
+    program = parse_program(
+        """
+        p(X, Y) <- q(X, Y).
+        q(X, Y) <- base(X, Y).
+        unrelated(X, Y) <- other(X, Y).
+        """
+    )
+    g = DependencyGraph(program)
+    reach = {str(r) for r in g.reachable_from(PredicateRef("p", 2))}
+    assert "q/2" in reach and "base/2" in reach
+    assert "unrelated/2" not in reach
+
+
+def test_stratified_ok():
+    program = parse_program(
+        """
+        reach(X, Y) <- edge(X, Y).
+        reach(X, Y) <- edge(X, Z), reach(Z, Y).
+        unreach(X, Y) <- node(X, X), node(Y, Y), ~reach(X, Y).
+        """
+    )
+    g = DependencyGraph(program)
+    g.check_stratified()  # should not raise
+    strata = g.strata()
+    assert strata[PredicateRef("unreach", 2)] > strata[PredicateRef("reach", 2)]
+
+
+def test_unstratified_rejected():
+    program = parse_program(
+        """
+        win(X) <- move(X, Y), ~win(Y).
+        """
+    )
+    g = DependencyGraph(program)
+    with pytest.raises(KnowledgeBaseError):
+        g.check_stratified()
+
+
+def test_successors_predecessors():
+    program = parse_program("p(X, Y) <- q(X, Y), r(X, Y).")
+    g = DependencyGraph(program)
+    p, q, r = refs("p", "q", "r")
+    assert g.successors(q) == {p}
+    assert g.predecessors(p) == {q, r}

@@ -1,0 +1,83 @@
+"""File-based loaders and remaining storage micro-gaps."""
+
+import pytest
+
+from repro.datalog.bindings import BindingPattern
+from repro.datalog.terms import Constant
+from repro.errors import SchemaError
+from repro.storage import Database, Relation, load_facts_file, load_tsv_file
+from repro.storage.loader import dump_facts_text
+
+
+def test_load_facts_file(tmp_path):
+    path = tmp_path / "facts.ldl"
+    path.write_text("up(a, b).\nup(b, c).\nflat(c, c).\n")
+    db = Database()
+    assert load_facts_file(db, path) == 3
+    assert len(db.relation("up")) == 2
+
+
+def test_load_tsv_file(tmp_path):
+    path = tmp_path / "data.tsv"
+    path.write_text("a\t1\nb\t2\n# comment\n")
+    db = Database()
+    assert load_tsv_file(db, "m", path) == 2
+    values = {tuple(f.value for f in row) for row in db.relation("m")}
+    assert values == {("a", 1), ("b", 2)}
+
+
+def test_load_tsv_custom_delimiter(tmp_path):
+    path = tmp_path / "data.csv"
+    path.write_text("a,1\nb,2\n")
+    db = Database()
+    assert load_tsv_file(db, "m", path, delimiter=",") == 2
+
+
+def test_dump_facts_selected_names():
+    db = Database()
+    db.load("a", [(1,)])
+    db.load("b", [(2,)])
+    text = dump_facts_text(db, names=["a"])
+    assert "a(1)." in text and "b(" not in text
+    assert dump_facts_text(Database()) == ""
+
+
+def test_relation_named_columns():
+    r = Relation("emp", 2, columns=("name", "dept"))
+    assert r.columns == ("name", "dept")
+    with pytest.raises(SchemaError):
+        Relation("emp", 2, columns=("only_one",))
+
+
+def test_relation_default_column_names():
+    assert Relation("e", 3).columns == ("c0", "c1", "c2")
+
+
+def test_binding_pattern_from_positions():
+    assert BindingPattern.from_positions(4, [0, 3]).code == "bffb"
+    assert BindingPattern.from_positions(2, []).code == "ff"
+
+
+def test_database_drop():
+    db = Database()
+    db.load("e", [("a", "b")])
+    db.stats_for("e")
+    db.drop("e")
+    assert "e" not in db
+    assert db.stats_for("e") is None
+
+
+def test_database_add_relation():
+    db = Database()
+    r = Relation("outside", 1)
+    r.insert((Constant("x"),))
+    db.add_relation(r)
+    assert db.relation("outside") is r
+    with pytest.raises(SchemaError):
+        db.add_relation(Relation("outside", 1))
+
+
+def test_database_repr():
+    db = Database()
+    db.load("e", [("a", "b")])
+    assert "e(1)" in repr(db)

@@ -1,0 +1,189 @@
+"""Magic-set and counting rewrites: structure + semantic equivalence.
+
+The semantic tests are the important ones: for every binding, the magic
+(and, where applicable, counting) rewrite must return exactly the tuples
+of the plain fixpoint that match the query — over trees, DAGs, and mutual
+recursion.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datalog import (
+    BindingPattern,
+    CPermutation,
+    DependencyGraph,
+    PredicateRef,
+    adorn_clique,
+    counting_applicable,
+    counting_rewrite,
+    magic_rewrite,
+    parse_program,
+)
+from repro.datalog.terms import Constant
+from repro.engine.fixpoint import evaluate_program
+from repro.storage import Database
+from repro.workloads import same_generation_instance
+
+SG = """
+sg(X, Y) <- up(X, X1), sg(Y1, X1), dn(Y1, Y).
+sg(X, Y) <- flat(X, Y).
+"""
+
+ANC = """
+anc(X, Y) <- par(X, Y).
+anc(X, Y) <- par(X, Z), anc(Z, Y).
+"""
+
+PAPER_CPERM = CPermutation(choices={(0, BindingPattern("fb")): (2, 1, 0)})
+
+
+def adorned_sg(binding="bf", cperm=PAPER_CPERM):
+    program = parse_program(SG)
+    clique = DependencyGraph(program).recursive_cliques()[0]
+    return adorn_clique(clique, PredicateRef("sg", 2), BindingPattern(binding), cperm)
+
+
+def adorned_anc(binding="bf"):
+    program = parse_program(ANC)
+    clique = DependencyGraph(program).recursive_cliques()[0]
+    return adorn_clique(clique, PredicateRef("anc", 2), BindingPattern(binding))
+
+
+# -- structure ----------------------------------------------------------------
+
+
+def test_magic_structure_sg():
+    mp = magic_rewrite(adorned_sg())
+    rules = {str(r) for r in mp.program}
+    assert "m_sg.fb(X1) <- m_sg.bf(X), up(X, X1)." in rules
+    assert mp.seed_predicate == "m_sg.bf"
+    assert mp.answer_predicate == "sg.bf"
+    assert mp.seed_arity == 1
+
+
+def test_magic_modified_rules_gated():
+    mp = magic_rewrite(adorned_anc())
+    for rule in mp.program:
+        if rule.head.predicate.startswith("anc."):
+            assert rule.body[0].predicate.startswith("m_anc.")
+
+
+def test_counting_applicability():
+    assert counting_applicable(adorned_sg())          # paper SIP: separable
+    assert not counting_applicable(adorned_sg(cperm=CPermutation.identity()))
+    assert counting_applicable(adorned_anc())
+
+
+def test_counting_rejects_inapplicable():
+    with pytest.raises(ValueError):
+        counting_rewrite(adorned_sg(cperm=CPermutation.identity()))
+
+
+def test_counting_anc_collapses_to_any_level():
+    cp = counting_rewrite(adorned_anc())
+    assert cp.answer_any_level
+    # pure-copy down phase: no down rules at all
+    assert all(not r.head.predicate.startswith("ans_") or
+               not any(l.predicate.startswith("ans_") for l in r.body)
+               for r in cp.program)
+
+
+def test_counting_sg_keeps_down_rules():
+    cp = counting_rewrite(adorned_sg())
+    assert not cp.answer_any_level
+    down = [r for r in cp.program
+            if r.head.predicate.startswith("ans_")
+            and any(l.predicate.startswith("ans_") for l in r.body)]
+    assert down  # alternating clique: real down phase
+
+
+# -- semantics ----------------------------------------------------------------
+
+
+def sg_database(fanout=2, depth=3):
+    db = Database()
+    same_generation_instance(db, fanout=fanout, depth=depth)
+    return db
+
+
+def full_sg(db):
+    return evaluate_program(db, parse_program(SG))["sg"]
+
+
+def test_magic_equals_full_filtered_every_node():
+    db = sg_database()
+    full = full_sg(db)
+    mp = magic_rewrite(adorned_sg())
+    nodes = {row[0] for row in db.relation("up")} | {row[1] for row in db.relation("up")}
+    for node in sorted(nodes, key=str):
+        res = evaluate_program(db, mp.program, seeds={mp.seed_predicate: {(node,)}})
+        got = {r for r in res[mp.answer_predicate] if r[0] == node}
+        expected = {r for r in full if r[0] == node}
+        assert got == expected, f"magic mismatch at {node}"
+
+
+def test_counting_equals_full_filtered_every_node():
+    db = sg_database()
+    full = full_sg(db)
+    cp = counting_rewrite(adorned_sg())
+    zero = Constant(0)
+    nodes = {row[0] for row in db.relation("up")} | {row[1] for row in db.relation("up")}
+    for node in sorted(nodes, key=str):
+        res = evaluate_program(db, cp.program, seeds={cp.seed_predicate: {(zero, node)}})
+        got = {row[1] for row in res[cp.answer_predicate] if row[0] == zero}
+        expected = {r[1] for r in full if r[0] == node}
+        assert got == expected, f"counting mismatch at {node}"
+
+
+def test_magic_anc_on_dag():
+    from repro.workloads import random_dag
+
+    db = Database()
+    random_dag(db, "par", nodes=30, edges=60, seed=7)
+    full = evaluate_program(db, parse_program(ANC))["anc"]
+    mp = magic_rewrite(adorned_anc())
+    for node in sorted({r[0] for r in db.relation("par")}, key=str)[:10]:
+        res = evaluate_program(db, mp.program, seeds={mp.seed_predicate: {(node,)}})
+        got = {r for r in res[mp.answer_predicate] if r[0] == node}
+        assert got == {r for r in full if r[0] == node}
+
+
+def test_counting_anc_any_level_semantics():
+    db = Database()
+    db.load("par", [(f"n{i}", f"n{i+1}") for i in range(10)])
+    cp = counting_rewrite(adorned_anc())
+    zero = Constant(0)
+    res = evaluate_program(db, cp.program, seeds={cp.seed_predicate: {(zero, Constant("n0"))}})
+    got = {row[1].value for row in res[cp.answer_predicate]}
+    assert got == {f"n{i}" for i in range(1, 11)}
+
+
+def test_magic_second_argument_bound():
+    """anc.fb: magic through the fb adornment (needs a reordered SIP)."""
+    program = parse_program(ANC)
+    clique = DependencyGraph(program).recursive_cliques()[0]
+    cperm = CPermutation(defaults={1: (1, 0)})  # recursive rule: anc first
+    adorned = adorn_clique(clique, PredicateRef("anc", 2), BindingPattern("fb"), cperm)
+    mp = magic_rewrite(adorned)
+    db = Database()
+    db.load("par", [("a", "b"), ("b", "c"), ("x", "c")])
+    res = evaluate_program(db, mp.program, seeds={mp.seed_predicate: {(Constant("c"),)}})
+    got = {(r[0].value, r[1].value) for r in res[mp.answer_predicate] if r[1] == Constant("c")}
+    assert got == {("a", "c"), ("b", "c"), ("x", "c")}
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10_000))
+def test_magic_equivalence_random_dags(seed):
+    """Property: magic-from-seed == full-fixpoint-filtered, on random DAGs."""
+    from repro.workloads import random_dag
+
+    db = Database()
+    names = random_dag(db, "par", nodes=12, edges=20, seed=seed)
+    full = evaluate_program(db, parse_program(ANC))["anc"]
+    mp = magic_rewrite(adorned_anc())
+    node = Constant(names[0])
+    res = evaluate_program(db, mp.program, seeds={mp.seed_predicate: {(node,)}})
+    got = {r for r in res[mp.answer_predicate] if r[0] == node}
+    assert got == {r for r in full if r[0] == node}

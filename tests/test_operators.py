@@ -1,0 +1,167 @@
+"""Physical operator tests: the join methods must agree with each other."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datalog.parser import parse_literal
+from repro.datalog.terms import Constant, Struct, Variable
+from repro.engine.operators import (
+    BindingsTable,
+    apply_comparison,
+    head_rows,
+    negation_filter,
+    scan_join,
+    union_tables,
+)
+from repro.engine.profiler import Profiler
+from repro.errors import ExecutionError
+from repro.storage import relation_from_rows
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+
+
+def rows_of(*values):
+    return frozenset(tuple(Constant(v) for v in row) for row in values)
+
+
+def test_unit_table_is_join_identity():
+    unit = BindingsTable.unit()
+    rel = relation_from_rows("e", [("a", "b")])
+    out = scan_join(unit, parse_literal("e(X, Y)"), rel)
+    assert out.schema == (X, Y)
+    assert out.rows == rows_of(("a", "b"))
+
+
+def test_scan_join_extends_schema_in_order():
+    table = BindingsTable.from_rows((X,), rows_of(("a",), ("b",)))
+    rel = relation_from_rows("e", [("a", 1), ("a", 2), ("c", 3)])
+    out = scan_join(table, parse_literal("e(X, Y)"), rel)
+    assert out.schema == (X, Y)
+    assert out.rows == rows_of(("a", 1), ("a", 2))
+
+
+@pytest.mark.parametrize("method", ["nested_loop", "hash", "index", "merge"])
+def test_all_methods_agree(method):
+    table = BindingsTable.from_rows((X,), rows_of(("a",), ("b",), ("z",)))
+    rel = relation_from_rows("e", [("a", 1), ("b", 2), ("b", 3), ("c", 4)])
+    out = scan_join(table, parse_literal("e(X, Y)"), rel, method=method)
+    assert out.rows == rows_of(("a", 1), ("b", 2), ("b", 3))
+
+
+def test_scan_join_repeated_variable():
+    rel = relation_from_rows("e", [("a", "a"), ("a", "b")])
+    out = scan_join(BindingsTable.unit(), parse_literal("e(X, X)"), rel)
+    assert out.rows == rows_of(("a",))
+    assert out.schema == (X,)
+
+
+def test_scan_join_with_constant():
+    rel = relation_from_rows("e", [("a", 1), ("b", 2)])
+    out = scan_join(BindingsTable.unit(), parse_literal("e(b, Y)"), rel)
+    assert out.rows == rows_of((2,))
+
+
+def test_scan_join_complex_term_pattern():
+    from repro.storage import Relation
+
+    rel = Relation("owns", 2)
+    rel.insert((Constant("joe"), Struct("bike", (Constant("red"),))))
+    rel.insert((Constant("joe"), Constant("car")))
+    out = scan_join(BindingsTable.unit(), parse_literal("owns(P, bike(C))"), rel)
+    assert out.schema == (Variable("P"), Variable("C"))
+    assert out.rows == rows_of(("joe", "red"))
+
+
+def test_scan_join_unknown_method():
+    with pytest.raises(ExecutionError):
+        scan_join(BindingsTable.unit(), parse_literal("e(X, Y)"), [], method="sort")
+
+
+def test_profiler_counts_differ_by_method():
+    table = BindingsTable.from_rows((X,), rows_of(*[(f"k{i}",) for i in range(10)]))
+    rel = relation_from_rows("e", [(f"k{i}", i) for i in range(10)])
+    nl, hashed = Profiler(), Profiler()
+    scan_join(table, parse_literal("e(X, Y)"), rel, "nested_loop", nl)
+    scan_join(table, parse_literal("e(X, Y)"), rel, "hash", hashed)
+    assert nl.examined == 100          # 10 probes x 10 tuples
+    assert hashed.examined < nl.examined
+
+
+def test_apply_comparison_filters():
+    table = BindingsTable.from_rows((X,), rows_of((1,), (5,)))
+    out = apply_comparison(table, parse_literal("X < 3"))
+    assert out.rows == rows_of((1,))
+
+
+def test_apply_comparison_binds():
+    table = BindingsTable.from_rows((X,), rows_of((1,), (2,)))
+    out = apply_comparison(table, parse_literal("Y = X * 10"))
+    assert out.schema == (X, Y)
+    assert out.rows == rows_of((1, 10), (2, 20))
+
+
+def test_negation_filter():
+    table = BindingsTable.from_rows((X,), rows_of(("a",), ("b",)))
+    out = negation_filter(table, parse_literal("blocked(X)"), rows_of(("a",)))
+    assert out.rows == rows_of(("b",))
+
+
+def test_negation_requires_ground():
+    table = BindingsTable.from_rows((X,), rows_of(("a",)))
+    with pytest.raises(ExecutionError):
+        negation_filter(table, parse_literal("blocked(X, Y)"), frozenset())
+
+
+def test_union_aligns_columns():
+    t1 = BindingsTable.from_rows((X, Y), rows_of(("a", 1)))
+    t2 = BindingsTable.from_rows((Y, X), rows_of((2, "b")))
+    out = union_tables([t1, t2])
+    assert out.schema == (X, Y)
+    assert out.rows == rows_of(("a", 1), ("b", 2))
+
+
+def test_union_incompatible_schemas():
+    t1 = BindingsTable.from_rows((X,), rows_of(("a",)))
+    t2 = BindingsTable.from_rows((Y,), rows_of(("b",)))
+    with pytest.raises(ExecutionError):
+        union_tables([t1, t2])
+
+
+def test_head_rows_instantiates():
+    table = BindingsTable.from_rows((X, Y), rows_of(("a", 1), ("b", 2)))
+    out = head_rows(table, parse_literal("p(Y, f(X))"))
+    assert out == {
+        (Constant(1), Struct("f", (Constant("a"),))),
+        (Constant(2), Struct("f", (Constant("b"),))),
+    }
+
+
+def test_head_rows_unbound_raises():
+    table = BindingsTable.from_rows((X,), rows_of(("a",)))
+    with pytest.raises(ExecutionError):
+        head_rows(table, parse_literal("p(X, Unbound)"))
+
+
+def test_project_dedupes():
+    table = BindingsTable.from_rows((X, Y), rows_of(("a", 1), ("a", 2)))
+    assert table.project((X,)).rows == rows_of(("a",))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.sets(st.tuples(st.integers(0, 5), st.integers(0, 5)), max_size=15),
+    st.sets(st.tuples(st.integers(0, 5), st.integers(0, 5)), max_size=15),
+)
+def test_methods_equivalent_property(left_rows, right_rows):
+    """All four join methods compute the same natural join."""
+    table = BindingsTable.from_rows((X, Y), rows_of(*left_rows))
+    rel = relation_from_rows("e", list(right_rows) or [(0, 0)], arity=2)
+    if not right_rows:
+        rel.clear()
+    literal = parse_literal("e(Y, Z)")
+    results = {
+        method: scan_join(table, literal, rel, method).rows
+        for method in ("nested_loop", "hash", "index", "merge")
+    }
+    values = list(results.values())
+    assert all(v == values[0] for v in values)

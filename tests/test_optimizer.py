@@ -1,0 +1,231 @@
+"""Optimizer tests: NR-OPT and OPT behaviour (Figures 7-1 and 7-2)."""
+
+import math
+
+import pytest
+
+from repro import Optimizer, OptimizerConfig, UnsafeQueryError
+from repro.datalog import BindingPattern, PredicateRef, parse_program, parse_query
+from repro.plans.nodes import FixpointNode, JoinNode, UnionNode
+from repro.storage.statistics import DeclaredStatistics
+
+NONREC = """
+p(X, Y) <- q(X, Z), r(Z, Y).
+q(X, Y) <- a(X, Y).
+q(X, Y) <- b(X, Y).
+r(X, Y) <- c(X, Y), X != Y.
+"""
+
+
+def nonrec_stats():
+    stats = DeclaredStatistics()
+    stats.declare("a", 1000, [100, 100])
+    stats.declare("b", 50, [50, 50])
+    stats.declare("c", 10_000, [1000, 1000])
+    return stats
+
+
+def make_optimizer(source, stats, **config):
+    return Optimizer(parse_program(source), stats, OptimizerConfig(**config))
+
+
+def test_nonrecursive_plan_shape():
+    opt = make_optimizer(NONREC, nonrec_stats())
+    compiled = opt.optimize(parse_query("p($X, Y)?"))
+    assert compiled.safe
+    root = compiled.plan
+    assert isinstance(root, UnionNode)
+    wrapper = root.children[0]
+    assert isinstance(wrapper, JoinNode)
+    p_node = wrapper.steps[0].child
+    assert isinstance(p_node, UnionNode)
+    assert p_node.ref == PredicateRef("p", 2)
+    assert len(p_node.children) == 1  # one rule for p
+
+
+def test_memoization_once_per_binding():
+    """NR-OPT step 2: each OR subtree is optimized exactly once per binding."""
+    opt = make_optimizer(NONREC, nonrec_stats())
+    opt.optimize(parse_query("p($X, Y)?"))
+    first = opt.counters["or_optimizations"]
+    opt.optimize(parse_query("p($X, Y)?"))
+    assert opt.counters["or_optimizations"] == first  # fully memoized
+
+
+def test_distinct_bindings_get_distinct_plans():
+    opt = make_optimizer(NONREC, nonrec_stats())
+    bound = opt.optimize(parse_query("p($X, Y)?"))
+    free = opt.optimize(parse_query("p(X, Y)?"))
+    assert bound.est.cost <= free.est.cost
+
+
+def test_query_on_base_predicate():
+    opt = make_optimizer(NONREC, nonrec_stats())
+    compiled = opt.optimize(parse_query("c($X, Y)?"))
+    assert compiled.safe
+
+
+def test_unknown_predicate_rejected():
+    from repro.errors import OptimizationError
+
+    opt = make_optimizer(NONREC, nonrec_stats())
+    with pytest.raises(OptimizationError):
+        opt.optimize(parse_query("mystery(X)?"))
+
+
+def test_strategies_consistent_on_small_queries():
+    compiled = {}
+    for strategy in ("exhaustive", "dp"):
+        opt = make_optimizer(NONREC, nonrec_stats(), strategy=strategy)
+        compiled[strategy] = opt.optimize(parse_query("p($X, Y)?")).est.cost
+    assert compiled["exhaustive"] == pytest.approx(compiled["dp"])
+
+
+def test_textual_strategy_keeps_order():
+    source = "p(X) <- big(X, Y), small(Y, Z)."
+    stats = DeclaredStatistics()
+    stats.declare("big", 100_000, [10, 10])
+    stats.declare("small", 10, [10, 10])
+    textual = make_optimizer(source, stats, strategy="textual")
+    smart = make_optimizer(source, stats, strategy="dp")
+    t = textual.optimize(parse_query("p(X)?"))
+    s = smart.optimize(parse_query("p(X)?"))
+    assert s.est.cost <= t.est.cost
+    t_order = [step.literal.predicate for step in t.plan.children[0].steps[0].child.children[0].steps]
+    assert t_order[0] == "big"  # textual order preserved
+
+
+# -- recursive (OPT) -------------------------------------------------------------
+
+SG = """
+sg(X, Y) <- up(X, X1), sg(Y1, X1), dn(Y1, Y).
+sg(X, Y) <- flat(X, Y).
+"""
+
+
+def sg_stats(scale=10_000, fanout=2.0, acyclic=True):
+    stats = DeclaredStatistics()
+    stats.declare("up", scale, [scale / fanout, scale / fanout / fanout], acyclic=acyclic)
+    stats.declare("dn", scale, [scale / fanout / fanout, scale / fanout], acyclic=acyclic)
+    stats.declare("flat", scale / 10, [scale / 10, scale / 10])
+    return stats
+
+
+def test_bound_sg_uses_sideways_method():
+    opt = make_optimizer(SG, sg_stats())
+    compiled = opt.optimize(parse_query("sg($X, Y)?"))
+    cc = compiled.plan.children[0].steps[0].child
+    assert isinstance(cc, FixpointNode)
+    assert cc.method in ("magic", "supplementary", "counting")
+    assert cc.binding.code == "bf"
+
+
+def test_free_sg_materializes():
+    opt = make_optimizer(SG, sg_stats())
+    compiled = opt.optimize(parse_query("sg(X, Y)?"))
+    cc = compiled.plan.children[0].steps[0].child
+    assert cc.method == "seminaive"
+
+
+def test_counting_gated_on_acyclic_data():
+    cyclic = make_optimizer(SG, sg_stats(acyclic=False))
+    compiled = cyclic.optimize(parse_query("sg($X, Y)?"))
+    cc = compiled.plan.children[0].steps[0].child
+    assert cc.method in ("magic", "supplementary")  # counting needs acyclic data
+
+
+def test_method_restriction_respected():
+    opt = make_optimizer(SG, sg_stats(), recursive_methods=("seminaive",))
+    compiled = opt.optimize(parse_query("sg($X, Y)?"))
+    cc = compiled.plan.children[0].steps[0].child
+    assert cc.method == "seminaive"
+
+
+def test_only_used_bindings_optimized():
+    """Section 7.2: "In order to avoid optimizing a subtree with a binding
+    pattern that may never be used, a top-down algorithm can be devised"
+    — our NR-OPT is that top-down algorithm: the bindings optimized for
+    an arity-3 view are only those its call sites can induce, not the
+    2^3 = 8 of the power set."""
+    source = """
+    top(X) <- s(X, W), view(X, W, Z).
+    view(A, B, C) <- t(A, B), u(B, C).
+    """
+    stats = DeclaredStatistics()
+    stats.declare("s", 100, [10, 10])
+    stats.declare("t", 100, [10, 10])
+    stats.declare("u", 100, [10, 10])
+    opt = make_optimizer(source, stats)
+    opt.optimize(parse_query("top($X)?"))
+    view_entries = [k for k in opt._memo if k[0] == "view/3"]
+    assert 0 < len(view_entries) < 8
+
+
+def test_cc_memoized_per_binding():
+    opt = make_optimizer(SG, sg_stats())
+    opt.optimize(parse_query("sg($X, Y)?"))
+    count = opt.counters["cc_optimizations"]
+    opt.optimize(parse_query("sg($X, Y)?"))
+    assert opt.counters["cc_optimizations"] == count
+
+
+# -- safety integration (Section 8) ----------------------------------------------
+
+
+def test_paper_unsafe_example_rejected():
+    """Section 8.3: p(x,y,z) ? with y = 2**x over p(x,y,z) <- x=3, z=x+y is
+    safe for no permutation — the optimizer must report it unsafe."""
+    source = "p(X, Y, Z) <- X = 3, Z = X + Y.\nanswer(X, Y, Z) <- p(X, Y, Z), Y = 2 ** X."
+    stats = DeclaredStatistics()
+    opt = make_optimizer(source, stats)
+    with pytest.raises(UnsafeQueryError) as excinfo:
+        opt.optimize(parse_query("answer(X, Y, Z)?"))
+    assert excinfo.value.reasons
+
+
+def test_reordering_rescues_safety():
+    """A textually unsafe rule is safe after reordering — the optimizer
+    finds the safe permutation (unlike Prolog's fixed order)."""
+    source = "p(X, Y) <- Y = X + 1, q(X)."
+    stats = DeclaredStatistics()
+    stats.declare("q", 100, [100])
+    opt = make_optimizer(source, stats)
+    compiled = opt.optimize(parse_query("p(X, Y)?"))
+    assert compiled.safe
+    steps = compiled.plan.children[0].steps[0].child.children[0].steps
+    assert [s.literal.predicate for s in steps] == ["q", "="]
+
+
+def test_unsafe_recursion_free_query():
+    source = """
+    nat(X) <- zero(X).
+    nat(Y) <- nat(X), Y = X + 1.
+    """
+    stats = DeclaredStatistics()
+    stats.declare("zero", 1, [1])
+    opt = make_optimizer(source, stats)
+    with pytest.raises(UnsafeQueryError):
+        opt.optimize(parse_query("nat(X)?"))
+
+
+def test_comparison_only_query_with_bound_vars():
+    source = "check(X, Y) <- q(X), Y = X * 2, Y > 3."
+    stats = DeclaredStatistics()
+    stats.declare("q", 10, [10])
+    opt = make_optimizer(source, stats)
+    compiled = opt.optimize(parse_query("check($X, Y)?"))
+    assert compiled.safe
+
+
+def test_negation_plans():
+    source = """
+    reach(X, Y) <- e(X, Y).
+    reach(X, Y) <- e(X, Z), reach(Z, Y).
+    blocked(X, Y) <- node(X), node(Y), ~reach(X, Y).
+    """
+    stats = DeclaredStatistics()
+    stats.declare("e", 100, [50, 50], acyclic=True)
+    stats.declare("node", 50, [50])
+    opt = make_optimizer(source, stats)
+    compiled = opt.optimize(parse_query("blocked($X, Y)?"))
+    assert compiled.safe

@@ -1,0 +1,166 @@
+"""Parser unit tests: grammar coverage and error reporting."""
+
+import pytest
+
+from repro.datalog.parser import (
+    iter_statements,
+    parse_literal,
+    parse_program,
+    parse_query,
+    parse_rule,
+    tokenize,
+)
+from repro.datalog.terms import Constant, Struct, Variable
+from repro.errors import ParseError
+
+
+def test_simple_rule():
+    rule = parse_rule("anc(X, Y) <- par(X, Y).")
+    assert rule.head.predicate == "anc"
+    assert [l.predicate for l in rule.body] == ["par"]
+    assert rule.head.args == (Variable("X"), Variable("Y"))
+
+
+def test_prolog_style_arrow():
+    rule = parse_rule("p(X) :- q(X).")
+    assert rule.head.predicate == "p"
+
+
+def test_fact():
+    rule = parse_rule("par(abe, homer).")
+    assert rule.is_fact
+    assert rule.head.args == (Constant("abe"), Constant("homer"))
+
+
+def test_numbers_and_strings():
+    rule = parse_rule("p(1, 2.5, 'hello world', \"x\").")
+    values = [a.value for a in rule.head.args]
+    assert values == [1, 2.5, "hello world", "x"]
+
+
+def test_negative_number_folds():
+    rule = parse_rule("p(-3).")
+    assert rule.head.args == (Constant(-3),)
+
+
+def test_comments_are_skipped():
+    program = parse_program("% a comment\np(X) <- q(X). # another\n")
+    assert len(program) == 1
+
+
+def test_complex_terms():
+    rule = parse_rule("owns(joe, bike(wheel(front), W)).")
+    bike = rule.head.args[1]
+    assert isinstance(bike, Struct)
+    assert bike.functor == "bike"
+    assert bike.args[0] == Struct("wheel", (Constant("front"),))
+    assert bike.args[1] == Variable("W")
+
+
+def test_list_sugar():
+    rule = parse_rule("p([1, 2 | T]).")
+    term = rule.head.args[0]
+    assert term == Struct("cons", (Constant(1), Struct("cons", (Constant(2), Variable("T")))))
+    empty = parse_rule("p([]).").head.args[0]
+    assert empty == Constant("nil")
+
+
+def test_arithmetic_precedence():
+    rule = parse_rule("p(X) <- q(Y), X = Y + 2 * 3.")
+    eq = rule.body[1]
+    assert eq.predicate == "="
+    assert eq.args[1] == Struct("+", (Variable("Y"), Struct("*", (Constant(2), Constant(3)))))
+
+
+def test_power_right_associative():
+    rule = parse_rule("p(X) <- X = 2 ** 3 ** 2.")
+    expr = rule.body[0].args[1]
+    assert expr == Struct("**", (Constant(2), Struct("**", (Constant(3), Constant(2)))))
+
+
+def test_comparisons():
+    rule = parse_rule("p(X, Y) <- q(X, Y), X < Y, X != 3, Y >= 0.")
+    ops = [l.predicate for l in rule.body[1:]]
+    assert ops == ["<", "!=", ">="]
+
+
+def test_negation_both_spellings():
+    rule = parse_rule("p(X) <- q(X), ~r(X), not s(X).")
+    assert [l.negated for l in rule.body] == [False, True, True]
+
+
+def test_negated_comparison_rejected():
+    with pytest.raises(ParseError):
+        parse_rule("p(X) <- q(X), ~(X < 3).")
+
+
+def test_anonymous_variables_are_distinct():
+    rule = parse_rule("p(X) <- q(_, _), r(X).")
+    a, b = rule.body[0].args
+    assert a != b
+
+
+def test_query_form_bound_markers():
+    form = parse_query("sg($X, Y)?")
+    assert form.adornment.code == "bf"
+    assert form.bound_vars == {Variable("X")}
+    assert form.output_vars == (Variable("Y"),)
+    assert str(form) == "sg($X, Y)?"
+
+
+def test_query_form_constants_bound():
+    form = parse_query("sg(joe, Y)?")
+    assert form.adornment.code == "bf"
+    assert form.bound_vars == frozenset()
+
+
+def test_query_trailing_junk_rejected():
+    with pytest.raises(ParseError):
+        parse_query("sg(X, Y)? extra")
+
+
+def test_zero_ary_predicate():
+    rule = parse_rule("halt <- p(X).")
+    assert rule.head.predicate == "halt"
+    assert rule.head.arity == 0
+
+
+def test_struct_equality_literal():
+    literal = parse_literal("f(X) = g(Y)")
+    assert literal.predicate == "="
+    assert literal.args[0] == Struct("f", (Variable("X"),))
+
+
+def test_parse_error_reports_location():
+    with pytest.raises(ParseError) as excinfo:
+        parse_program("p(X) <- q(X)\np(Y) <- r(Y).")
+    assert "line" in str(excinfo.value)
+
+
+def test_unexpected_character():
+    with pytest.raises(ParseError):
+        tokenize("p(X) <- q(X) @ r(X).")
+
+
+def test_missing_period():
+    with pytest.raises(ParseError):
+        parse_rule("p(X) <- q(X)")
+
+
+def test_iter_statements_respects_strings_and_nesting():
+    source = "p('a.b', f(1, 2)). q(X)."
+    statements = list(iter_statements(source))
+    assert len(statements) == 2
+    assert statements[0].startswith("p(")
+
+
+def test_mod_keyword_is_operator():
+    rule = parse_rule("p(X) <- q(Y), X = Y mod 3.")
+    assert rule.body[1].args[1] == Struct("mod", (Variable("Y"), Constant(3)))
+
+
+def test_roundtrip_str_parse():
+    source = "sg(X, Y) <- up(X, X1), sg(Y1, X1), dn(Y1, Y)."
+    rule = parse_rule(source)
+    assert str(rule) == source
+    assert parse_rule(str(rule)) == rule

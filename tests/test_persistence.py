@@ -1,0 +1,61 @@
+"""Knowledge-base persistence: save/load round trips."""
+
+import pytest
+
+from repro import KnowledgeBase, OptimizerConfig
+
+
+def build() -> KnowledgeBase:
+    kb = KnowledgeBase()
+    kb.rules(
+        """
+        anc(X, Y) <- par(X, Y).
+        anc(X, Y) <- par(X, Z), anc(Z, Y).
+        """
+    )
+    kb.facts("par", [("abe", "homer"), ("homer", "bart")])
+    kb.facts_text("owns(joe, bike(front, red)).")
+    return kb
+
+
+def test_save_load_roundtrip(tmp_path):
+    original = build()
+    original.save(tmp_path / "kb")
+    loaded = KnowledgeBase.load(tmp_path / "kb")
+    assert loaded.ask("anc(abe, Y)?").to_python() == original.ask("anc(abe, Y)?").to_python()
+    assert loaded.db.names == original.db.names
+    # complex terms survive the round trip
+    assert loaded.db.relation("owns").rows == original.db.relation("owns").rows
+
+
+def test_save_creates_readable_files(tmp_path):
+    build().save(tmp_path / "kb")
+    rules_text = (tmp_path / "kb" / "rules.ldl").read_text()
+    facts_text = (tmp_path / "kb" / "facts.ldl").read_text()
+    assert "anc(X, Y) <- par(X, Y)." in rules_text
+    assert "par(abe, homer)." in facts_text
+    assert "owns(joe, bike(front, red))." in facts_text
+
+
+def test_load_empty_directory(tmp_path):
+    (tmp_path / "empty").mkdir()
+    kb = KnowledgeBase.load(tmp_path / "empty")
+    assert len(kb.program) == 0
+    assert not kb.db.names
+
+
+def test_load_with_config(tmp_path):
+    build().save(tmp_path / "kb")
+    kb = KnowledgeBase.load(tmp_path / "kb", OptimizerConfig(strategy="kbz"))
+    assert kb.config.strategy == "kbz"
+    assert kb.ask("anc(abe, Y)?").to_python()
+
+
+def test_save_load_save_stable(tmp_path):
+    """Saving a loaded KB reproduces identical files (canonical form)."""
+    original = build()
+    original.save(tmp_path / "a")
+    loaded = KnowledgeBase.load(tmp_path / "a")
+    loaded.save(tmp_path / "b")
+    assert (tmp_path / "a" / "facts.ldl").read_text() == (tmp_path / "b" / "facts.ldl").read_text()
+    assert (tmp_path / "a" / "rules.ldl").read_text() == (tmp_path / "b" / "rules.ldl").read_text()

@@ -1,0 +1,117 @@
+"""Rule rewrites: specialization, relevance restriction, projection pushdown."""
+
+import pytest
+
+from repro.datalog import (
+    PredicateRef,
+    parse_literal,
+    parse_program,
+    parse_rule,
+    pred_ref,
+)
+from repro.datalog.rewrite import (
+    push_projections,
+    relevant_program,
+    rename_apart,
+    specialize,
+)
+from repro.datalog.terms import Constant, Variable
+from repro.engine import evaluate_program
+from repro.storage import Database
+
+
+def test_rename_apart_only_renames_clashes():
+    rule = parse_rule("p(X, Y) <- q(X, Z).")
+    renamed = rename_apart(rule, frozenset({Variable("X")}))
+    assert Variable("X") not in renamed.variables
+    assert Variable("Y") in renamed.variables  # untouched
+
+
+def test_rename_apart_noop_without_clash():
+    rule = parse_rule("p(X) <- q(X).")
+    assert rename_apart(rule, frozenset({Variable("Q")})) is rule
+
+
+def test_specialize_pushes_constants():
+    rule = parse_rule("p(X, Y) <- q(X, Z), r(Z, Y).")
+    out = specialize(rule, parse_literal("p(a, W)"))
+    assert str(out) == "p(a, W) <- q(a, Z), r(Z, W)."
+
+
+def test_specialize_handles_goal_variable_clash():
+    rule = parse_rule("p(X, Y) <- q(X, Y).")
+    out = specialize(rule, parse_literal("p(Y, X)"))
+    # goal variables pass through; rule variables renamed apart
+    assert out.head.args == (Variable("Y"), Variable("X"))
+
+
+def test_specialize_rejects_mismatches():
+    rule = parse_rule("p(a, Y) <- q(Y).")
+    assert specialize(rule, parse_literal("p(b, W)")) is None
+    assert specialize(rule, parse_literal("other(a, W)")) is None
+    assert specialize(rule, parse_literal("p(a)")) is None
+
+
+def test_relevant_program_prunes_unreachable():
+    program = parse_program(
+        """
+        p(X) <- q(X).
+        q(X) <- base(X).
+        dead(X) <- other(X).
+        """
+    )
+    pruned = relevant_program(program, PredicateRef("p", 1))
+    heads = {str(r.head_ref) for r in pruned}
+    assert heads == {"p/1", "q/1"}
+    assert len(relevant_program(program, PredicateRef("nope", 1))) == 0
+
+
+PROJ = """
+wide(A, B, C, D) <- s(A, B), t(C, D).
+user(A) <- wide(A, B, C, D), B = C.
+"""
+
+
+def test_push_projections_drops_unused_columns():
+    program = parse_program(PROJ)
+    goal = parse_literal("user(A)")
+    rewritten, new_goal = push_projections(program, goal)
+    # `wide`'s D column is never consumed: the projected version loses it
+    projected = [r for r in rewritten if r.head.predicate == "wide@proj"]
+    assert projected
+    assert projected[0].head.arity == 3
+    assert new_goal.predicate == "user"
+
+
+def test_push_projections_preserves_semantics():
+    program = parse_program(PROJ)
+    goal = parse_literal("user(A)")
+    rewritten, __ = push_projections(program, goal)
+    db = Database()
+    db.load("s", [("a", 1), ("b", 2)])
+    db.load("t", [(1, "x"), (3, "y")])
+    before = evaluate_program(db, program)["user"]
+    after = evaluate_program(db, rewritten)["user"]
+    assert before == after
+    assert before == frozenset({(Constant("a"),)})
+
+
+def test_push_projections_noop_when_everything_used():
+    program = parse_program("p(A, B) <- q(A, B).")
+    goal = parse_literal("p(A, B)")
+    rewritten, new_goal = push_projections(program, goal)
+    assert rewritten == program
+    assert new_goal == goal
+
+
+def test_push_projections_skips_recursive():
+    program = parse_program(
+        """
+        t(X, Y) <- e(X, Y).
+        t(X, Y) <- e(X, Z), t(Z, Y).
+        first(X) <- t(X, Y).
+        """
+    )
+    rewritten, __ = push_projections(program, parse_literal("first(X)"))
+    # the recursive predicate keeps its arity even though Y is unused above
+    assert all(r.head.arity == 2 for r in rewritten if r.head.predicate.startswith("t"))

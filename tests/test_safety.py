@@ -1,0 +1,166 @@
+"""Safety analysis tests (Section 8): EC, safe orders, well-founded orders."""
+
+import pytest
+
+from repro.datalog import (
+    BindingPattern,
+    CPermutation,
+    DependencyGraph,
+    PredicateRef,
+    adorn_clique,
+    parse_program,
+    parse_rule,
+    parse_literal,
+)
+from repro.datalog.safety import (
+    ec_check,
+    exists_safe_order,
+    literal_is_ec,
+    well_founded_order,
+)
+from repro.datalog.terms import Variable
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+
+
+# -- EC of single literals ------------------------------------------------------
+
+
+def test_comparison_needs_all_bound():
+    lt = parse_literal("X < Y")
+    assert not literal_is_ec(lt, frozenset({X}))[0]
+    assert literal_is_ec(lt, frozenset({X, Y}))[0]
+
+
+def test_equality_expression_rule():
+    """Section 8.1: 'x = expression' is EC once the expression's variables
+    are instantiated."""
+    eq = parse_literal("Z = X + Y + 1")
+    assert literal_is_ec(eq, frozenset({X, Y}))[0]
+    assert not literal_is_ec(eq, frozenset({X}))[0]
+    # Z bound does not help: arithmetic is not invertible
+    assert not literal_is_ec(eq, frozenset({Z}))[0]
+
+
+def test_equality_constructor_is_invertible():
+    eq = parse_literal("pair(A, B) = P")
+    assert literal_is_ec(eq, frozenset({Variable("P")}))[0]
+
+
+def test_negation_needs_all_bound():
+    neg = parse_literal("~p(X, Y)")
+    assert not literal_is_ec(neg, frozenset({X}))[0]
+    assert literal_is_ec(neg, frozenset({X, Y}))[0]
+
+
+def test_base_literal_always_ec():
+    assert literal_is_ec(parse_literal("p(X, Y)"), frozenset())[0]
+
+
+def test_oracle_can_declare_infinite():
+    oracle = lambda literal, bound: False
+    ok, reason = literal_is_ec(parse_literal("p(X)"), frozenset(), oracle)
+    assert not ok and "infinite" in reason
+
+
+# -- EC of bodies ---------------------------------------------------------------
+
+
+def test_ec_check_order_dependent():
+    rule = parse_rule("p(X, Y) <- Y = X + 1, q(X).")
+    assert not ec_check(rule.body, frozenset()).ok
+    assert ec_check((rule.body[1], rule.body[0]), frozenset()).ok
+
+
+def test_exists_safe_order_finds_reordering():
+    rule = parse_rule("p(X, Y) <- Y = X + 1, X > 0, q(X).")
+    order, reasons = exists_safe_order(rule.body, frozenset())
+    assert order is not None and not reasons
+    assert [rule.body[i].predicate for i in order] == ["q", "=", ">"] or \
+           [rule.body[i].predicate for i in order] == ["q", ">", "="]
+
+
+def test_exists_safe_order_detects_hopeless():
+    """The paper's Section 8.3 example: no permutation is safe."""
+    rule = parse_rule("answer(X, Y, Z) <- p(X, Y, Z), Y = 2 ** X.")
+    # p is an infinite relation here: model it with an oracle saying so
+    oracle = lambda literal, bound: literal.predicate != "p" or bool(bound & literal.variables)
+    order, reasons = exists_safe_order(rule.body, frozenset(), oracle)
+    assert order is None
+    assert reasons
+
+
+def test_greedy_completeness_matches_enumeration():
+    """Greedy EC saturation finds an order iff some permutation is EC."""
+    import itertools
+
+    bodies = [
+        parse_rule("p(X, Y) <- Y = X + 1, X = Y - 1.").body,   # hopeless
+        parse_rule("p(X, Y) <- q(X), Y = X + 1.").body,         # fine
+        parse_rule("p(X) <- X > 0, q(X).").body,                # needs reorder
+    ]
+    for body in bodies:
+        greedy, __ = exists_safe_order(body, frozenset())
+        brute = any(
+            ec_check([body[i] for i in perm], frozenset()).ok
+            for perm in itertools.permutations(range(len(body)))
+        )
+        assert (greedy is not None) == brute
+
+
+# -- well-founded orders ---------------------------------------------------------
+
+
+def adorned_of(source, pred, arity, binding, cperm=None):
+    program = parse_program(source)
+    clique = DependencyGraph(program).recursive_cliques()[0]
+    return adorn_clique(
+        clique, PredicateRef(pred, arity), BindingPattern(binding), cperm,
+        derived_predicates=program.derived_predicates,
+    )
+
+
+def test_datalog_clique_always_well_founded():
+    adorned = adorned_of(
+        "t(X, Y) <- e(X, Y). t(X, Y) <- e(X, Z), t(Z, Y).", "t", 2, "ff"
+    )
+    report = well_founded_order(adorned)
+    assert report.ok
+    assert "finite" in report.argument
+
+
+def test_list_traversal_structural_descent():
+    source = """
+    member(X, L) <- L = cons(X, T).
+    member(X, L) <- L = cons(H, T), member(X, T).
+    """
+    adorned = adorned_of(source, "member", 2, "fb")
+    assert well_founded_order(adorned).ok
+
+
+def test_value_inventing_free_clique_rejected():
+    source = """
+    nat(X) <- zero(X).
+    nat(Y) <- nat(X), Y = X + 1.
+    """
+    adorned = adorned_of(source, "nat", 1, "f")
+    report = well_founded_order(adorned)
+    assert not report.ok
+
+
+def test_integer_descent_with_guard():
+    source = """
+    fact(N, F) <- N = 0, F = 1.
+    fact(N, F) <- N > 0, M = N - 1, fact(M, G), F = N * G.
+    """
+    adorned = adorned_of(source, "fact", 2, "bf")
+    assert well_founded_order(adorned).ok
+
+
+def test_integer_ascent_without_guard_rejected():
+    source = """
+    count(N, F) <- N = 0, F = 1.
+    count(N, F) <- M = N + 1, count(M, G), F = G.
+    """
+    adorned = adorned_of(source, "count", 2, "bf")
+    assert not well_founded_order(adorned).ok

@@ -1,0 +1,204 @@
+"""Storage substrate tests: relations, indexes, catalog, statistics, loaders."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.datalog.terms import Constant, Struct
+from repro.errors import SchemaError
+from repro.storage import (
+    Database,
+    Relation,
+    collect_statistics,
+    dump_facts_text,
+    load_facts_text,
+    load_tsv,
+    relation_from_rows,
+)
+from repro.storage.statistics import DeclaredStatistics, RelationStats
+
+
+# -- relations ------------------------------------------------------------------
+
+
+def test_insert_and_dedupe():
+    r = Relation("p", 2)
+    assert r.insert_values(("a", 1))
+    assert not r.insert_values(("a", 1))
+    assert len(r) == 1
+
+
+def test_arity_and_groundness_enforced():
+    r = Relation("p", 2)
+    with pytest.raises(SchemaError):
+        r.insert_values(("a",))
+    from repro.datalog.terms import Variable
+
+    with pytest.raises(SchemaError):
+        r.insert((Constant("a"), Variable("X")))
+
+
+def test_complex_terms_stored():
+    r = Relation("owns", 2)
+    r.insert((Constant("joe"), Struct("bike", (Constant("red"),))))
+    assert (Constant("joe"), Struct("bike", (Constant("red"),))) in r
+
+
+def test_zero_arity_relation():
+    r = Relation("flag", 0)
+    assert r.insert(())
+    assert len(r) == 1
+
+
+def test_negative_arity_rejected():
+    with pytest.raises(SchemaError):
+        Relation("p", -1)
+
+
+def test_index_lookup():
+    r = relation_from_rows("e", [("a", "b"), ("a", "c"), ("b", "c")])
+    index = r.ensure_index([0])
+    assert index.distinct_keys == 2
+    rows = set(r.lookup([0], (Constant("a"),)))
+    assert rows == {(Constant("a"), Constant("b")), (Constant("a"), Constant("c"))}
+
+
+def test_index_maintained_on_insert():
+    r = Relation("e", 2)
+    r.ensure_index([1])
+    r.insert_values(("a", "b"))
+    assert set(r.lookup([1], (Constant("b"),))) == {(Constant("a"), Constant("b"))}
+
+
+def test_lookup_without_index_scans():
+    r = relation_from_rows("e", [("a", "b"), ("b", "c")])
+    assert set(r.lookup([1], (Constant("c"),))) == {(Constant("b"), Constant("c"))}
+
+
+def test_index_position_out_of_range():
+    with pytest.raises(SchemaError):
+        Relation("p", 2).ensure_index([5])
+
+
+def test_relation_copy_independent():
+    r = relation_from_rows("e", [("a", "b")])
+    c = r.copy()
+    c.insert_values(("x", "y"))
+    assert len(r) == 1 and len(c) == 2
+
+
+# -- catalog ----------------------------------------------------------------------
+
+
+def test_database_create_and_load():
+    db = Database()
+    db.load("e", [("a", "b"), ("b", "c")])
+    assert "e" in db
+    assert len(db.relation("e")) == 2
+    with pytest.raises(SchemaError):
+        db.relation("missing")
+
+
+def test_database_duplicate_name_rejected():
+    db = Database()
+    db.create("e", 2)
+    with pytest.raises(SchemaError):
+        db.create("e", 2)
+
+
+def test_stats_cached_and_invalidated():
+    db = Database()
+    db.load("e", [("a", "b")])
+    stats1 = db.stats_for("e")
+    assert stats1.cardinality == 1
+    db.load("e", [("b", "c")])
+    stats2 = db.stats_for("e")
+    assert stats2.cardinality == 2
+
+
+def test_declared_stats_override():
+    db = Database()
+    db.load("e", [("a", "b")])
+    db.declare_stats("e", RelationStats.declared(1000, [100, 10]))
+    assert db.stats_for("e").cardinality == 1000
+
+
+# -- statistics --------------------------------------------------------------------
+
+
+def test_collect_statistics_distincts_and_minmax():
+    r = relation_from_rows("m", [("a", 1), ("b", 2), ("a", 3)])
+    stats = collect_statistics(r)
+    assert stats.cardinality == 3
+    assert stats.columns[0].distinct == 2
+    assert stats.columns[1].minimum == 1 and stats.columns[1].maximum == 3
+
+
+def test_acyclicity_detection():
+    acyclic = relation_from_rows("d", [("a", "b"), ("b", "c")])
+    cyclic = relation_from_rows("c", [("a", "b"), ("b", "a")])
+    assert collect_statistics(acyclic).acyclic is True
+    assert collect_statistics(cyclic).acyclic is False
+    ternary = relation_from_rows("t", [("a", "b", "c")])
+    assert collect_statistics(ternary).acyclic is None
+
+
+def test_fanout_and_distinct():
+    stats = RelationStats.declared(100, [10, 50])
+    assert stats.fanout(0) == 10.0
+    assert stats.distinct(1) == 50.0
+
+
+def test_declared_statistics_provider():
+    provider = DeclaredStatistics()
+    provider.declare("e", 100, [10, 10], acyclic=True)
+    assert provider.stats_for("e").acyclic is True
+    assert provider.stats_for("missing") is None
+    assert "e" in provider
+
+
+# -- loaders -----------------------------------------------------------------------
+
+
+def test_load_facts_text_roundtrip():
+    db = Database()
+    n = load_facts_text(db, "up(a, b). up(b, c). flat(c, c).")
+    assert n == 3
+    dumped = dump_facts_text(db)
+    db2 = Database()
+    assert load_facts_text(db2, dumped) == 3
+    assert db2.relation("up").rows == db.relation("up").rows
+
+
+def test_load_facts_text_rejects_rules_and_vars():
+    from repro.errors import KnowledgeBaseError
+
+    db = Database()
+    with pytest.raises(KnowledgeBaseError):
+        load_facts_text(db, "p(X) <- q(X).")
+    with pytest.raises(KnowledgeBaseError):
+        load_facts_text(db, "p(X).")
+
+
+def test_load_facts_with_complex_terms():
+    db = Database()
+    load_facts_text(db, "owns(joe, bike(front_wheel)).")
+    row = next(iter(db.relation("owns")))
+    assert row[1] == Struct("bike", (Constant("front_wheel"),))
+
+
+def test_load_tsv_types():
+    db = Database()
+    n = load_tsv(db, "m", ["a\t1", "b\t2.5", "# comment", "", "c\ttext"])
+    assert n == 3
+    values = {tuple(f.value for f in row) for row in db.relation("m")}
+    assert values == {("a", 1), ("b", 2.5), ("c", "text")}
+
+
+@given(st.sets(st.tuples(st.integers(0, 20), st.integers(0, 20)), max_size=30))
+def test_relation_set_semantics(rows):
+    r = Relation("p", 2)
+    for row in rows:
+        r.insert_values(row)
+    for row in rows:  # duplicates change nothing
+        r.insert_values(row)
+    assert len(r) == len(rows)

@@ -1,0 +1,163 @@
+"""Search strategy tests: exhaustive, DP, KBZ, annealing (Section 7.1)."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cost import BodyEstimator
+from repro.datalog.parser import parse_rule
+from repro.optimizer import (
+    AnnealingSchedule,
+    anneal,
+    annealing_order,
+    cost_order,
+    dp_order,
+    enumerate_orders,
+    exhaustive_order,
+    kbz_order,
+    split_joinable,
+)
+from repro.storage.statistics import DeclaredStatistics
+from repro.workloads import generate_conjunctive
+
+
+def estimator_for(workload):
+    return BodyEstimator(workload.stats)
+
+
+def test_split_joinable():
+    rule = parse_rule("p(X) <- q(X, Y), Y > 1, ~r(Y), s(Y, Z).")
+    joinable, floating = split_joinable(rule.body)
+    assert joinable == [0, 3]
+    assert floating == [1, 2]
+
+
+def test_enumerate_orders_counts_factorial():
+    w = generate_conjunctive(4, "chain", seed=1)
+    assert sum(1 for __ in enumerate_orders(w.body, frozenset(), estimator_for(w))) == 24
+
+
+def test_exhaustive_is_minimum_of_enumeration():
+    w = generate_conjunctive(5, "random", seed=3)
+    est = estimator_for(w)
+    best = exhaustive_order(w.body, frozenset(), est)
+    all_costs = [r.est.cost for r in enumerate_orders(w.body, frozenset(), est)]
+    assert best.est.cost == min(all_costs)
+    assert best.evaluations == len(all_costs)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 10_000), st.sampled_from(["chain", "star", "cycle", "random"]))
+def test_dp_equals_exhaustive(seed, shape):
+    """Selinger DP is exact for this cost model (order-independent states)."""
+    w = generate_conjunctive(5, shape, seed=seed)
+    est = estimator_for(w)
+    assert dp_order(w.body, frozenset(), est).est.cost == pytest.approx(
+        exhaustive_order(w.body, frozenset(), est).est.cost
+    )
+
+
+def test_dp_fewer_evaluations_than_exhaustive():
+    w = generate_conjunctive(7, "random", seed=11)
+    est = estimator_for(w)
+    dp = dp_order(w.body, frozenset(), est)
+    assert dp.evaluations < math.factorial(7)
+
+
+def test_kbz_quality_bulk():
+    """The paper's claim: optimal in most cases, >=90%% within 2-3x."""
+    ratios = []
+    for seed in range(30):
+        w = generate_conjunctive(6, ("chain", "star", "random")[seed % 3], seed=seed)
+        est = estimator_for(w)
+        exact = exhaustive_order(w.body, frozenset(), est).est.cost
+        quick = kbz_order(w.body, frozenset(), est).est.cost
+        ratios.append(quick / exact)
+    within_3x = sum(r <= 3.0 for r in ratios) / len(ratios)
+    assert within_3x >= 0.9
+    assert min(ratios) >= 1.0 - 1e-9  # never better than the optimum
+
+
+def test_kbz_quadratic_evaluation_count():
+    w = generate_conjunctive(10, "random", seed=5)
+    est = estimator_for(w)
+    result = kbz_order(w.body, frozenset(), est)
+    assert result.evaluations <= 10 * 10 + 10  # n roots + n sweeps of n-1 swaps
+    assert not result.est.is_infinite
+
+
+def test_kbz_handles_degenerate_bodies():
+    rule = parse_rule("p(X) <- q(X, Y).")
+    stats = DeclaredStatistics()
+    stats.declare("q", 10, [5, 5])
+    result = kbz_order(rule.body, frozenset(), BodyEstimator(stats))
+    assert result.order == (0,)
+
+
+def test_annealing_close_to_optimal():
+    failures = 0
+    for seed in range(10):
+        w = generate_conjunctive(6, "random", seed=500 + seed)
+        est = estimator_for(w)
+        exact = exhaustive_order(w.body, frozenset(), est).est.cost
+        sa = annealing_order(w.body, frozenset(), est, rng=random.Random(seed))
+        if sa.est.cost > 2 * exact:
+            failures += 1
+    assert failures <= 1
+
+
+def test_annealing_fewer_evaluations_than_space():
+    w = generate_conjunctive(8, "random", seed=77)
+    est = estimator_for(w)
+    sa = annealing_order(
+        w.body, frozenset(), est,
+        rng=random.Random(0),
+        schedule=AnnealingSchedule(max_evaluations=500),
+    )
+    assert sa.evaluations <= 500 < math.factorial(8)
+
+
+def test_annealing_deterministic_given_seed():
+    w = generate_conjunctive(6, "random", seed=9)
+    est = estimator_for(w)
+    a = annealing_order(w.body, frozenset(), est, rng=random.Random(42))
+    b = annealing_order(w.body, frozenset(), est, rng=random.Random(42))
+    assert a.order == b.order and a.est.cost == b.est.cost
+
+
+def test_generic_anneal_escapes_unsafe_states():
+    """States with infinite cost are priced by a finite surrogate, so the
+    walk can move off them."""
+    def cost_of(state):
+        return math.inf if state == 0 else float(state)
+
+    result = anneal(
+        0,
+        lambda s, rng: rng.choice([1, 2, 3]),
+        cost_of,
+        random.Random(1),
+        AnnealingSchedule(max_evaluations=50),
+    )
+    assert result.cost == 1.0
+
+
+def test_cost_order_flushes_floats_early():
+    rule = parse_rule("p(X, Y) <- q(X, Z), r(Z, Y), Z > 1.")
+    stats = DeclaredStatistics()
+    stats.declare("q", 100, [10, 10])
+    stats.declare("r", 100, [10, 10])
+    joinable, floating = split_joinable(rule.body)
+    result = cost_order(rule.body, joinable, floating, frozenset(), BodyEstimator(stats))
+    # the comparison (original index 2) runs right after q binds Z
+    assert result.order.index(2) == 1
+
+
+def test_unsafe_orders_price_infinite():
+    rule = parse_rule("p(X, Y) <- Y = W + 1, q(X).")  # W never bound
+    stats = DeclaredStatistics()
+    stats.declare("q", 10, [10])
+    result = exhaustive_order(rule.body, frozenset(), BodyEstimator(stats))
+    assert result.est.is_infinite
+    assert not result.is_safe

@@ -1,0 +1,137 @@
+"""Tabled top-down evaluation: correctness vs the bottom-up reference."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datalog import parse_literal, parse_program
+from repro.datalog.builtins import default_builtins
+from repro.engine import Profiler, evaluate_program
+from repro.engine.topdown import TopDownEngine
+from repro.errors import ExecutionError
+from repro.storage import Database
+from repro.workloads import random_dag, same_generation_instance
+
+RIGHT_ANC = "anc(X, Y) <- par(X, Y). anc(X, Y) <- par(X, Z), anc(Z, Y)."
+LEFT_ANC = "anc(X, Y) <- anc(X, Z), par(Z, Y). anc(X, Y) <- par(X, Y)."
+
+
+def family_db():
+    db = Database()
+    db.load("par", [("abe", "homer"), ("homer", "bart"), ("homer", "lisa")])
+    return db
+
+
+def solve(db, program_text, goal_text, **kwargs):
+    engine = TopDownEngine(db, parse_program(program_text), **kwargs)
+    return engine.solve(parse_literal(goal_text))
+
+
+def values(rows):
+    return {tuple(str(f) for f in row) for row in rows}
+
+
+def test_ground_facts():
+    db = family_db()
+    got = solve(db, RIGHT_ANC, "par(abe, Y)")
+    assert values(got) == {("abe", "homer")}
+
+
+def test_bound_goal_matches_reference():
+    db = family_db()
+    reference = evaluate_program(db, parse_program(RIGHT_ANC))["anc"]
+    got = solve(db, RIGHT_ANC, "anc(abe, Y)")
+    assert got == {r for r in reference if str(r[0]) == "abe"}
+
+
+def test_free_goal_matches_reference():
+    db = family_db()
+    reference = evaluate_program(db, parse_program(RIGHT_ANC))["anc"]
+    assert solve(db, RIGHT_ANC, "anc(X, Y)") == reference
+
+
+def test_left_recursion_terminates_with_tabling():
+    db = family_db()
+    reference = evaluate_program(db, parse_program(RIGHT_ANC))["anc"]
+    assert solve(db, LEFT_ANC, "anc(X, Y)") == reference
+
+
+def test_left_recursion_without_tabling_raises():
+    db = family_db()
+    with pytest.raises(ExecutionError):
+        solve(db, LEFT_ANC, "anc(abe, Y)", tabling=False, max_depth=200)
+
+
+def test_right_recursion_works_without_tabling():
+    db = family_db()
+    got = solve(db, RIGHT_ANC, "anc(abe, Y)", tabling=False)
+    assert values(got) == {("abe", "homer"), ("abe", "bart"), ("abe", "lisa")}
+
+
+def test_comparisons_and_arithmetic():
+    db = Database()
+    db.load("num", [(1,), (5,)])
+    got = solve(db, "big(X, Y) <- num(X), X > 2, Y = X * 10.", "big(X, Y)")
+    assert values(got) == {("5", "50")}
+
+
+def test_negation():
+    db = Database()
+    db.load("e", [("a", "b")])
+    db.load("node", [("a",), ("b",)])
+    program = "sink(X) <- node(X), ~moves(X). moves(X) <- e(X, Y)."
+    got = solve(db, program, "sink(X)")
+    assert values(got) == {("b",)}
+
+
+def test_negation_unbound_raises():
+    db = Database()
+    db.load("node", [("a",)])
+    with pytest.raises(ExecutionError):
+        solve(db, "weird(X) <- ~mystery(Y), node(X).", "weird(X)")
+
+
+def test_builtins_in_topdown():
+    db = Database()
+    db.load("noop", [(0,)])
+    got = solve(
+        db, "small(N) <- noop(Z), range(0, 4, N).", "small(N)",
+        builtins=default_builtins(),
+    )
+    assert values(got) == {("0",), ("1",), ("2",), ("3",)}
+
+
+def test_unknown_predicate_raises():
+    db = Database()
+    with pytest.raises(ExecutionError):
+        solve(db, "p(X) <- mystery(X).", "p(X)")
+
+
+def test_same_generation_matches_bottom_up():
+    db = Database()
+    same_generation_instance(db, fanout=2, depth=3)
+    sg = """
+    sg(X, Y) <- up(X, X1), sg(Y1, X1), dn(Y1, Y).
+    sg(X, Y) <- flat(X, Y).
+    """
+    reference = evaluate_program(db, parse_program(sg))["sg"]
+    assert solve(db, sg, "sg(X, Y)") == reference
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 10_000))
+def test_tabled_equals_bottom_up_on_random_dags(seed):
+    db = Database()
+    names = random_dag(db, "par", nodes=10, edges=18, seed=seed)
+    reference = evaluate_program(db, parse_program(RIGHT_ANC))["anc"]
+    goal = parse_literal(f"anc({names[0]}, Y)")
+    engine = TopDownEngine(db, parse_program(RIGHT_ANC))
+    got = engine.solve(goal)
+    assert got == {r for r in reference if str(r[0]) == names[0]}
+
+
+def test_profiler_counts_work():
+    db = family_db()
+    profiler = Profiler()
+    engine = TopDownEngine(db, parse_program(RIGHT_ANC), profiler=profiler)
+    engine.solve(parse_literal("anc(abe, Y)"))
+    assert profiler.total_work > 0

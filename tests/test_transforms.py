@@ -1,0 +1,230 @@
+"""Execution-space transformations (Section 5): equivalence preservation.
+
+Each transformation must map a processing tree / program to one computing
+the same result — that is the definition of the execution space.  The
+tests execute before and after.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import KnowledgeBase
+from repro.datalog import PredicateRef, parse_program, parse_query
+from repro.engine import Interpreter, evaluate_program
+from repro.errors import ExecutionError, PlanError
+from repro.plans.transforms import (
+    exchange_label,
+    flatten_program,
+    flatten_rule,
+    permute,
+    push_select,
+    set_mode,
+    unflatten_program,
+)
+from repro.storage import Database
+
+
+def build_kb():
+    kb = KnowledgeBase()
+    kb.rules(
+        """
+        res(X, Z) <- e(X, Y), f(Y, Z), Y != X.
+        """
+    )
+    kb.facts("e", [("a", "b"), ("b", "b"), ("b", "c")])
+    kb.facts("f", [("b", 1), ("c", 2)])
+    return kb
+
+
+def run_join(kb, join_node, query):
+    from repro.plans.nodes import UnionNode
+
+    compiled = kb.compile(query)
+    root = compiled.plan
+    new_root = UnionNode(root.ref, root.binding, (join_node,), root.est, root.ndvs)
+    return Interpreter(kb.db).run(new_root, compiled.query).to_python()
+
+
+def wrapper_join(kb, query):
+    return kb.compile(query).plan.children[0]
+
+
+def inner_join(kb, query):
+    return wrapper_join(kb, query).steps[0].child.children[0]
+
+
+def rebuild(kb, query, new_inner):
+    """Swap the inner AND node inside the compiled wrapper plan."""
+    from repro.plans.nodes import JoinNode, JoinStep, UnionNode
+
+    compiled = kb.compile(query)
+    wrapper = compiled.plan.children[0]
+    step = wrapper.steps[0]
+    child = step.child
+    new_child = UnionNode(child.ref, child.binding, (new_inner,), child.est, child.ndvs)
+    new_step = JoinStep(step.literal, new_child, step.method, step.pipelined, step.est)
+    new_wrapper = JoinNode(wrapper.rule, wrapper.binding, (new_step,), wrapper.est)
+    root = compiled.plan
+    new_root = UnionNode(root.ref, root.binding, (new_wrapper,), root.est, root.ndvs)
+    return Interpreter(kb.db).run(new_root, compiled.query).to_python()
+
+
+QUERY = "res(X, Z)?"
+
+
+def test_pr_permutation_preserves_results():
+    kb = build_kb()
+    baseline = kb.ask(QUERY).to_python()
+    inner = inner_join(kb, QUERY)
+    n = len(inner.steps)
+    import itertools
+
+    safe_orders = 0
+    for perm in itertools.permutations(range(n)):
+        transformed = permute(inner, perm)
+        try:
+            result = rebuild(kb, QUERY, transformed)
+        except ExecutionError:
+            continue  # unsafe permutation: engine refuses, also acceptable
+        safe_orders += 1
+        assert sorted(result) == sorted(baseline), f"PR broke at {perm}"
+    assert safe_orders >= 2
+
+
+def test_el_method_change_preserves_results():
+    kb = build_kb()
+    baseline = kb.ask(QUERY).to_python()
+    inner = inner_join(kb, QUERY)
+    base_positions = [
+        i for i, s in enumerate(inner.steps)
+        if s.child is None and not s.literal.is_comparison
+    ]
+    for position in base_positions:
+        for method in ("nested_loop", "hash", "index", "merge"):
+            transformed = exchange_label(inner, position, method)
+            assert sorted(rebuild(kb, QUERY, transformed)) == sorted(baseline)
+
+
+def test_el_rejects_non_base_steps():
+    kb = build_kb()
+    inner = inner_join(kb, QUERY)
+    cmp_position = next(i for i, s in enumerate(inner.steps) if s.literal.is_comparison)
+    with pytest.raises(PlanError):
+        exchange_label(inner, cmp_position, "hash")
+    with pytest.raises(PlanError):
+        exchange_label(inner, 0, "quantum")
+
+
+def test_mp_flip_preserves_results():
+    kb = build_kb()
+    baseline = kb.ask(QUERY).to_python()
+    inner = inner_join(kb, QUERY)
+    for position, step in enumerate(inner.steps):
+        if step.literal.is_comparison:
+            continue
+        for pipelined in (True, False):
+            transformed = set_mode(inner, position, pipelined)
+            assert sorted(rebuild(kb, QUERY, transformed)) == sorted(baseline)
+
+
+def test_ps_move_preserves_results_when_safe():
+    kb = build_kb()
+    baseline = kb.ask(QUERY).to_python()
+    inner = inner_join(kb, QUERY)
+    source = next(i for i, s in enumerate(inner.steps) if s.literal.is_comparison)
+    for target in range(len(inner.steps)):
+        transformed = push_select(inner, source, target)
+        try:
+            result = rebuild(kb, QUERY, transformed)
+        except ExecutionError:
+            continue
+        assert sorted(result) == sorted(baseline)
+
+
+# -- FU at the program level -----------------------------------------------------
+
+
+FLATTEN_SOURCE = """
+top(X, Z) <- mid(X, Y), g(Y, Z).
+mid(X, Y) <- a(X, Y).
+mid(X, Y) <- b(X, Y), X != Y.
+"""
+
+
+def flatten_db():
+    db = Database()
+    db.load("a", [("x", "y"), ("y", "y")])
+    db.load("b", [("x", "x"), ("x", "q"), ("q", "y")])
+    db.load("g", [("y", 1), ("q", 2), ("x", 3)])
+    return db
+
+
+def test_flatten_program_distributes_join_over_union():
+    program = parse_program(FLATTEN_SOURCE)
+    flattened = flatten_program(program, PredicateRef("mid", 2))
+    assert not flattened.rules_for(PredicateRef("mid", 2))
+    assert len(flattened.rules_for(PredicateRef("top", 2))) == 2
+    db = flatten_db()
+    before = evaluate_program(db, program)["top"]
+    after = evaluate_program(db, flattened)["top"]
+    assert before == after
+
+
+def test_flatten_rejects_recursive():
+    program = parse_program("t(X, Y) <- e(X, Y). t(X, Y) <- e(X, Z), t(Z, Y).")
+    with pytest.raises(PlanError):
+        flatten_program(program, PredicateRef("t", 2))
+
+
+def test_flatten_rule_drops_non_unifiable_definitions():
+    program = parse_program("top(Z) <- mid(a, Z).\nmid(b, X) <- c(X).\nmid(a, X) <- d(X).")
+    rules = flatten_rule(
+        program.rules[0], 0, program.rules_for(PredicateRef("mid", 2))
+    )
+    assert len(rules) == 1
+    assert rules[0].body[0].predicate == "d"
+
+
+def test_unflatten_roundtrip():
+    program = parse_program(FLATTEN_SOURCE)
+    folded = unflatten_program(program, 0, [0, 1], "segment")
+    db = flatten_db()
+    before = evaluate_program(db, program)["top"]
+    after = evaluate_program(db, folded)["top"]
+    assert before == after
+    assert PredicateRef("segment", 2) in folded.derived_predicates
+
+
+def test_unflatten_then_flatten_is_identity_semantically():
+    program = parse_program(FLATTEN_SOURCE)
+    folded = unflatten_program(program, 0, [0, 1], "segment")
+    unfolded = flatten_program(folded, PredicateRef("segment", 2))
+    db = flatten_db()
+    assert (
+        evaluate_program(db, program)["top"]
+        == evaluate_program(db, unfolded)["top"]
+    )
+
+
+def test_unflatten_validates_positions():
+    program = parse_program(FLATTEN_SOURCE)
+    with pytest.raises(PlanError):
+        unflatten_program(program, 99, [0], "x")
+    with pytest.raises(PlanError):
+        unflatten_program(program, 0, [99], "x")
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 1000))
+def test_flatten_equivalence_random_data(seed):
+    import random
+
+    rng = random.Random(seed)
+    db = Database()
+    domain = [f"v{i}" for i in range(6)]
+    for name in ("a", "b", "g"):
+        rows = {(rng.choice(domain), rng.choice(domain)) for __ in range(8)}
+        db.load(name, sorted(rows))
+    program = parse_program(FLATTEN_SOURCE)
+    flattened = flatten_program(program, PredicateRef("mid", 2))
+    assert evaluate_program(db, program)["top"] == evaluate_program(db, flattened)["top"]

@@ -1,0 +1,140 @@
+"""Unit and property tests for unification and substitutions."""
+
+from hypothesis import given, strategies as st
+
+from repro.datalog.terms import Constant, Struct, Variable
+from repro.datalog.unify import (
+    apply,
+    compose,
+    fresh_variables,
+    is_renaming,
+    match,
+    restrict,
+    unify,
+    unify_sequences,
+    walk,
+)
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+
+
+def test_unify_variable_with_constant():
+    assert unify(X, Constant(3)) == {X: Constant(3)}
+    assert unify(Constant(3), X) == {X: Constant(3)}
+
+
+def test_unify_constants():
+    assert unify(Constant(3), Constant(3)) == {}
+    assert unify(Constant(3), Constant(4)) is None
+
+
+def test_unify_structs():
+    left = Struct("f", (X, Constant(1)))
+    right = Struct("f", (Constant(2), Y))
+    subst = unify(left, right)
+    assert subst == {X: Constant(2), Y: Constant(1)}
+
+
+def test_unify_functor_and_arity_clash():
+    assert unify(Struct("f", (X,)), Struct("g", (X,))) is None
+    assert unify(Struct("f", (X,)), Struct("f", (X, Y))) is None
+    assert unify(Struct("f", (X,)), Constant(1)) is None
+
+
+def test_unify_shared_variable_chains():
+    subst = unify(Struct("f", (X, X)), Struct("f", (Y, Constant(3))))
+    assert apply(X, subst) == Constant(3)
+    assert apply(Y, subst) == Constant(3)
+
+
+def test_occurs_check_blocks_cyclic_binding():
+    assert unify(X, Struct("f", (X,))) is None
+    # without the check, a (dangerous) rational-tree binding is produced
+    assert unify(X, Struct("f", (X,)), occurs_check=False) is not None
+
+
+def test_unify_does_not_mutate_input():
+    base = {X: Constant(1)}
+    out = unify(Y, Constant(2), base)
+    assert base == {X: Constant(1)}
+    assert out == {X: Constant(1), Y: Constant(2)}
+
+
+def test_unify_sequences_length_mismatch():
+    assert unify_sequences([X], [Constant(1), Constant(2)]) is None
+    assert unify_sequences([X, Y], [Constant(1), Constant(2)]) == {X: Constant(1), Y: Constant(2)}
+
+
+def test_match_one_way():
+    subst = match(Struct("f", (X, Constant(1))), Struct("f", (Constant(2), Constant(1))))
+    assert subst == {X: Constant(2)}
+    assert match(Constant(1), Constant(2)) is None
+
+
+def test_walk_and_apply():
+    subst = {X: Y, Y: Constant(5)}
+    assert walk(X, subst) == Constant(5)
+    assert apply(Struct("f", (X,)), subst) == Struct("f", (Constant(5),))
+
+
+def test_compose():
+    first = {X: Y}
+    second = {Y: Constant(1)}
+    composed = compose(first, second)
+    assert apply(X, composed) == Constant(1)
+
+
+def test_restrict():
+    assert restrict({X: Constant(1), Y: Constant(2)}, [X]) == {X: Constant(1)}
+
+
+def test_is_renaming():
+    assert is_renaming({X: Y, Z: Variable("W")})
+    assert not is_renaming({X: Y, Z: Y})  # not injective
+    assert not is_renaming({X: Constant(1)})
+
+
+def test_fresh_variables_avoids_taken():
+    taken = {"X", "X_1"}
+    mapping = fresh_variables([Struct("f", (X,))], taken)
+    assert mapping[X].name == "X_2"
+
+
+# -- properties ---------------------------------------------------------------
+
+ground = st.recursive(
+    st.integers(-20, 20).map(Constant),
+    lambda c: st.builds(lambda a: Struct("g", tuple(a)), st.lists(c, min_size=1, max_size=2)),
+    max_leaves=6,
+)
+
+patterns = st.recursive(
+    st.one_of(
+        st.integers(-20, 20).map(Constant),
+        st.sampled_from("XYZW").map(Variable),
+    ),
+    lambda c: st.builds(lambda a: Struct("g", tuple(a)), st.lists(c, min_size=1, max_size=2)),
+    max_leaves=6,
+)
+
+
+@given(patterns, ground)
+def test_unifier_is_a_solution(pattern, value):
+    """If unification succeeds, applying the substitution equates the terms."""
+    subst = unify(pattern, value)
+    if subst is not None:
+        assert apply(pattern, subst) == apply(value, subst)
+
+
+@given(patterns, ground)
+def test_match_agrees_with_unify_on_ground_right(pattern, value):
+    m = match(pattern, value)
+    u = unify(pattern, value)
+    assert (m is None) == (u is None)
+    if m is not None:
+        assert apply(pattern, m) == value
+
+
+@given(patterns)
+def test_unify_with_self_is_trivial(pattern):
+    assert unify(pattern, pattern) == {}

@@ -1,0 +1,134 @@
+"""Workload generator tests: shapes, determinism, dataset invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datalog.literals import variables_of_literals
+from repro.storage import Database, collect_statistics
+from repro.workloads import (
+    SHAPES,
+    balanced_tree,
+    bill_of_materials,
+    chain,
+    generate_batch,
+    generate_conjunctive,
+    paper_database,
+    paper_program,
+    random_dag,
+    random_graph,
+    same_generation_instance,
+)
+
+
+@pytest.mark.parametrize("shape", SHAPES)
+def test_generate_shapes(shape):
+    w = generate_conjunctive(5, shape, seed=1)
+    assert w.size == 5
+    for literal in w.body:
+        assert w.stats.stats_for(literal.predicate) is not None
+
+
+def test_generator_deterministic():
+    a = generate_conjunctive(6, "random", seed=42)
+    b = generate_conjunctive(6, "random", seed=42)
+    assert a.body == b.body
+    assert a.stats.stats_for("r0").cardinality == b.stats.stats_for("r0").cardinality
+
+
+def test_chain_shape_is_connected():
+    w = generate_conjunctive(4, "chain", seed=0)
+    for left, right in zip(w.body, w.body[1:]):
+        assert left.variables & right.variables
+
+
+def test_star_shares_hub():
+    w = generate_conjunctive(4, "star", seed=0)
+    hub = w.body[0].variables & w.body[1].variables
+    assert all(hub <= literal.variables for literal in w.body)
+
+
+def test_random_shape_connected():
+    w = generate_conjunctive(6, "random", seed=3)
+    # union-find over shared variables
+    groups = []
+    for literal in w.body:
+        merged = [g for g in groups if g & literal.variables]
+        fresh = set(literal.variables)
+        for g in merged:
+            fresh |= g
+            groups.remove(g)
+        groups.append(fresh)
+    assert len(groups) == 1
+
+
+def test_generate_batch_cycles_shapes():
+    batch = generate_batch(6, 4, shapes=("chain", "star"), seed=0)
+    assert [w.shape for w in batch] == ["chain", "star"] * 3
+
+
+def test_chain_dataset():
+    db = Database()
+    nodes = chain(db, "e", 10)
+    assert len(nodes) == 11
+    assert len(db.relation("e")) == 10
+    assert collect_statistics(db.relation("e")).acyclic is True
+
+
+def test_balanced_tree_counts():
+    db = Database()
+    levels = balanced_tree(db, fanout=3, depth=2)
+    assert [len(l) for l in levels] == [1, 3, 9]
+    assert len(db.relation("up")) == 12
+
+
+def test_same_generation_instance_symmetry():
+    db = Database()
+    levels = same_generation_instance(db, fanout=2, depth=3)
+    assert len(db.relation("up")) == len(db.relation("dn"))
+    assert len(db.relation("flat")) == 1
+    # up and dn are inverses
+    up = {(a.value, b.value) for a, b in db.relation("up")}
+    dn = {(a.value, b.value) for a, b in db.relation("dn")}
+    assert dn == {(b, a) for a, b in up}
+
+
+def test_random_dag_is_acyclic():
+    db = Database()
+    random_dag(db, "e", nodes=20, edges=40, seed=5)
+    assert collect_statistics(db.relation("e")).acyclic is True
+
+
+def test_random_graph_allows_cycles():
+    db = Database()
+    random_graph(db, "e", nodes=6, edges=25, seed=5)
+    # with that density a cycle is (essentially) guaranteed
+    assert collect_statistics(db.relation("e")).acyclic is False
+
+
+def test_bill_of_materials_structure():
+    db = Database()
+    tops = bill_of_materials(db, assemblies=10, depth=3, fanout=2, seed=1)
+    assert tops
+    assert "component" in db and "basic_part" in db
+    component = db.relation("component")
+    assert component.arity == 3
+
+
+def test_paper_rulebase_parses_and_runs():
+    program = paper_program()
+    assert len(program) == 6
+    db = paper_database(seed=1, scale=20)
+    from repro.engine import evaluate_program
+
+    result = evaluate_program(db, program)
+    assert result.iterations >= 1
+    # p2 is the recursive predicate
+    assert "p2" in result.relations
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(2, 8), st.integers(0, 500))
+def test_generated_bodies_have_consistent_arity(n, seed):
+    w = generate_conjunctive(n, "random", seed=seed)
+    assert len(w.body) == n
+    assert variables_of_literals(w.body)
