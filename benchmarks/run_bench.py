@@ -1,0 +1,204 @@
+#!/usr/bin/env python
+"""Replay the EXP workloads compiled vs. uncompiled and record the trajectory.
+
+Runs the evaluation hot path twice per workload — once with the kernel
+compiler + incremental delta indexing (the default engine) and once
+through the ``compile=False`` escape hatch (the interpreted reference
+path) — verifies both produce identical answers, and writes a JSON
+report with wall time, measured tuple work, and speedups:
+
+    PYTHONPATH=src python benchmarks/run_bench.py            # full run
+    PYTHONPATH=src python benchmarks/run_bench.py --smoke    # CI-sized
+    PYTHONPATH=src python benchmarks/run_bench.py --out path.json
+
+The default output is ``BENCH_PR1.json`` at the repository root; later
+PRs bump the suffix so the perf trajectory stays reviewable in-tree.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import KnowledgeBase, OptimizerConfig  # noqa: E402
+from repro.engine import Interpreter, Profiler  # noqa: E402
+from repro.storage import Database  # noqa: E402
+from repro.workloads import (  # noqa: E402
+    bill_of_materials,
+    random_dag,
+    same_generation_instance,
+)
+
+ANC = "anc(X, Y) <- par(X, Y). anc(X, Y) <- par(X, Z), anc(Z, Y)."
+
+
+def rows_of(db: Database, name: str) -> list[tuple]:
+    return [tuple(f.value for f in row) for row in db.relation(name)]
+
+
+def timed_ask(kb: KnowledgeBase, query: str, compile: bool, repeats: int, **bindings):
+    """Best-of-*repeats* wall time plus measured work for one execution.
+
+    The query form is compiled (optimizer-wise) once up front so both
+    engine modes pay the same planning cost; each repetition builds a
+    fresh Interpreter so no memoized extensions carry over.
+    """
+    compiled = kb.compile(query)
+    best_wall = float("inf")
+    work = 0
+    answers = None
+    for _ in range(repeats):
+        profiler = Profiler()
+        interpreter = Interpreter(
+            kb.db, profiler=profiler, builtins=kb.builtins, compile=compile
+        )
+        start = time.perf_counter()
+        answers = interpreter.run(compiled.plan, compiled.query, **bindings)
+        best_wall = min(best_wall, time.perf_counter() - start)
+        work = profiler.total_work
+    return {"wall_s": best_wall, "total_work": work}, answers.to_python()
+
+
+def bench_workload(name: str, kb: KnowledgeBase, query: str, repeats: int, **bindings) -> dict:
+    compiled_stats, compiled_answers = timed_ask(kb, query, True, repeats, **bindings)
+    baseline_stats, baseline_answers = timed_ask(kb, query, False, repeats, **bindings)
+    match = compiled_answers == baseline_answers
+    entry = {
+        "workload": name,
+        "query": query,
+        "answers": len(compiled_answers),
+        "results_match": match,
+        "compiled": compiled_stats,
+        "uncompiled": baseline_stats,
+        "speedup": baseline_stats["wall_s"] / max(compiled_stats["wall_s"], 1e-9),
+        "work_ratio": baseline_stats["total_work"] / max(compiled_stats["total_work"], 1),
+    }
+    status = "ok" if match else "MISMATCH"
+    print(
+        f"  {name:<28} {entry['speedup']:>6.2f}x wall "
+        f"({baseline_stats['wall_s'] * 1e3:8.2f}ms -> {compiled_stats['wall_s'] * 1e3:8.2f}ms)  "
+        f"work {baseline_stats['total_work']:>8} -> {compiled_stats['total_work']:>8}  [{status}]"
+    )
+    return entry
+
+
+def exp9_chain(n: int, repeats: int) -> dict:
+    """EXP-9 scaling shape: all-ancestors over an N-edge chain (the
+    semi-naive clique is the entire cost)."""
+    kb = KnowledgeBase(OptimizerConfig(recursive_methods=("seminaive",)))
+    kb.rules(ANC)
+    kb.facts("par", [(f"n{i}", f"n{i + 1}") for i in range(n)])
+    return bench_workload(f"exp9_chain_n{n}", kb, "anc($X, Y)?", repeats, X="n0")
+
+
+def exp7_ancestors(nodes: int, edges: int, repeats: int) -> dict:
+    db = Database()
+    names = random_dag(db, "par", nodes=nodes, edges=edges, seed=1)
+    kb = KnowledgeBase(OptimizerConfig(strategy="dp"))
+    kb.rules(ANC)
+    kb.facts("par", rows_of(db, "par"))
+    return bench_workload(f"exp7a_ancestors_{nodes}n", kb, "anc($X, Y)?", repeats, X=names[0])
+
+
+def exp7_same_generation(fanout: int, depth: int, repeats: int) -> dict:
+    db = Database()
+    levels = same_generation_instance(db, fanout=fanout, depth=depth)
+    kb = KnowledgeBase(OptimizerConfig(strategy="dp"))
+    kb.rules(
+        """
+        sg(X, Y) <- up(X, X1), sg(Y1, X1), dn(Y1, Y).
+        sg(X, Y) <- flat(X, Y).
+        """
+    )
+    for name in ("up", "dn", "flat"):
+        kb.facts(name, rows_of(db, name))
+    return bench_workload(
+        f"exp7b_same_gen_f{fanout}d{depth}", kb, "sg($X, Y)?", repeats, X=levels[-1][0]
+    )
+
+
+def exp7_bom(assemblies: int, depth: int, fanout: int, repeats: int) -> dict:
+    db = Database()
+    tops = bill_of_materials(db, assemblies=assemblies, depth=depth, fanout=fanout, seed=3)
+    kb = KnowledgeBase(OptimizerConfig(strategy="dp"))
+    kb.rules(
+        """
+        uses(A, P) <- component(A, P, Q).
+        uses(A, P) <- component(A, S, Q), uses(S, P).
+        needs_basic(A, P, W) <- uses(A, P), basic_part(P, W).
+        """
+    )
+    for name in ("component", "basic_part"):
+        kb.facts(name, rows_of(db, name))
+    return bench_workload(
+        f"exp7c_bom_a{assemblies}", kb, "needs_basic($A, P, W)?", repeats, A=tops[0]
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="small sizes (CI)")
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_PR1.json"))
+    args = parser.parse_args(argv)
+
+    repeats = 3 if args.smoke else 5
+    print(f"run_bench: {'smoke' if args.smoke else 'full'} mode, best of {repeats}")
+
+    workloads: list[dict] = []
+    chain_sizes = (60,) if args.smoke else (100, 200, 400)
+    for n in chain_sizes:
+        workloads.append(exp9_chain(n, repeats))
+    if args.smoke:
+        workloads.append(exp7_ancestors(40, 70, repeats))
+        workloads.append(exp7_same_generation(2, 3, repeats))
+        workloads.append(exp7_bom(8, 3, 2, repeats))
+    else:
+        workloads.append(exp7_ancestors(120, 200, repeats))
+        workloads.append(exp7_same_generation(3, 4, repeats))
+        workloads.append(exp7_bom(16, 4, 3, repeats))
+
+    mismatches = [w["workload"] for w in workloads if not w["results_match"]]
+    slower = [w["workload"] for w in workloads if w["speedup"] < 1.0]
+    more_work = [w["workload"] for w in workloads if w["work_ratio"] < 1.0]
+
+    report = {
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "mode": "smoke" if args.smoke else "full",
+        "repeats": repeats,
+        "workloads": workloads,
+        "summary": {
+            "geomean_speedup": _geomean([w["speedup"] for w in workloads]),
+            "geomean_work_ratio": _geomean([w["work_ratio"] for w in workloads]),
+            "mismatches": mismatches,
+            "slower_than_baseline": slower,
+            "more_work_than_baseline": more_work,
+        },
+    }
+    out_path = Path(args.out)
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(
+        f"wrote {out_path} — geomean speedup "
+        f"{report['summary']['geomean_speedup']:.2f}x, "
+        f"work ratio {report['summary']['geomean_work_ratio']:.2f}x"
+    )
+    if mismatches:
+        print(f"RESULT MISMATCH in: {mismatches}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _geomean(values: list[float]) -> float:
+    product = 1.0
+    for v in values:
+        product *= max(v, 1e-9)
+    return product ** (1.0 / len(values)) if values else 0.0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -3,6 +3,7 @@
 from .evaluable import compare_terms, eval_term, solve_comparison, term_sort_key
 from .fixpoint import EvaluationResult, FixpointEngine, evaluate_program
 from .interpreter import Interpreter, QueryAnswers
+from .kernels import CompiledRule, JoinKernel, KernelCache, compile_rule
 from .operators import (
     BindingsTable,
     JOIN_METHODS,
@@ -19,10 +20,13 @@ from .topdown import TopDownEngine
 
 __all__ = [
     "BindingsTable",
+    "CompiledRule",
     "EvaluationResult",
     "FixpointEngine",
     "Interpreter",
     "JOIN_METHODS",
+    "JoinKernel",
+    "KernelCache",
     "Profiler",
     "QueryAnswers",
     "Row",
@@ -30,6 +34,7 @@ __all__ = [
     "ViewSet",
     "apply_comparison",
     "compare_terms",
+    "compile_rule",
     "eval_term",
     "evaluate_program",
     "head_rows",

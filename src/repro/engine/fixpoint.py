@@ -32,6 +32,8 @@ from ..datalog.rules import Program, Rule
 from ..datalog.safety import exists_safe_order
 from ..errors import ExecutionError
 from ..storage.catalog import Database
+from ..storage.relation import DerivedRelation
+from .kernels import KernelCache
 from .operators import (
     BindingsTable,
     Row,
@@ -85,6 +87,12 @@ class FixpointEngine:
     reorder_bodies:
         When True (default) bodies are reordered by the greedy EC order
         before execution; when False the given order is trusted.
+    compile:
+        When True (default) rules are lowered once per engine into
+        execution kernels (:mod:`repro.engine.kernels`) and derived
+        extensions keep persistent incrementally-maintained indexes;
+        when False every round re-derives body orders and layouts — the
+        uncompiled escape hatch kept for A/B measurement.
     """
 
     def __init__(
@@ -96,6 +104,7 @@ class FixpointEngine:
         method_chooser: MethodChooser | None = None,
         reorder_bodies: bool = True,
         builtins: "BuiltinRegistry | None" = None,
+        compile: bool = True,
     ):
         from ..datalog.builtins import builtin_oracle
 
@@ -107,6 +116,10 @@ class FixpointEngine:
         self.reorder_bodies = reorder_bodies
         self.builtins = builtins
         self._oracle = builtin_oracle(builtins)
+        self.compile = compile
+        self._kernels = KernelCache(
+            reorder=reorder_bodies, oracle=self._oracle, builtins=builtins
+        )
 
     # -- extensions ----------------------------------------------------------
 
@@ -188,6 +201,19 @@ class FixpointEngine:
         delta_literal: int | None = None,
         delta_rows: Iterable[Row] | None = None,
     ) -> set[Row]:
+        if self.compile:
+            compiled = self._kernels.get(rule)
+            return compiled.execute(
+                lambda literal: self._extension(literal, workspace, derived),
+                self.method_chooser,
+                self.profiler,
+                delta_position=(
+                    compiled.delta_position(delta_literal)
+                    if delta_literal is not None
+                    else None
+                ),
+                delta_rows=delta_rows,
+            )
         body = self._ordered_body(rule)
         if delta_literal is not None:
             # Map the delta position from original body order to the
@@ -220,9 +246,16 @@ class FixpointEngine:
         graph.check_stratified()
         derived = program.derived_predicates
 
-        workspace: dict[str, set[Row]] = {}
+        # Compiled evaluation stores derived extensions as index-maintaining
+        # relations so join kernels keep persistent buckets across rounds.
+        def new_store(name: str, rows: Iterable[Row] = ()) -> set[Row] | DerivedRelation:
+            if self.compile:
+                return DerivedRelation(name, rows)
+            return set(tuple(r) for r in rows)
+
+        workspace: dict[str, set[Row] | DerivedRelation] = {}
         for name, rows in (seeds or {}).items():
-            workspace[name] = set(tuple(r) for r in rows)
+            workspace[name] = new_store(name, (tuple(r) for r in rows))
 
         total_iterations = 0
         for component in graph.evaluation_order():
@@ -233,7 +266,8 @@ class FixpointEngine:
                 ref in component for rule in component_rules for ref in rule.body_refs
             )
             for ref in component:
-                workspace.setdefault(ref.name, set())
+                if ref.name not in workspace:
+                    workspace[ref.name] = new_store(ref.name)
             if not recursive:
                 for rule in component_rules:
                     rows = self._eval_rule(rule, workspace, derived)
@@ -248,12 +282,25 @@ class FixpointEngine:
 
         self.profiler.bump_iterations(total_iterations)
         return EvaluationResult(
-            relations={name: frozenset(rows) for name, rows in workspace.items()},
+            relations={
+                name: store.rows if isinstance(store, DerivedRelation) else frozenset(store)
+                for name, store in workspace.items()
+            },
             iterations=total_iterations,
             profiler=self.profiler,
         )
 
     # -- clique strategies ---------------------------------------------------
+
+    @staticmethod
+    def _store_add(store: "set[Row] | DerivedRelation", row: Row) -> bool:
+        """Insert into a workspace store; True when the row was new."""
+        if isinstance(store, DerivedRelation):
+            return store.add(row)
+        if row in store:
+            return False
+        store.add(row)
+        return True
 
     def _check_guards(self, iterations: int, workspace: Mapping[str, set[Row]]) -> None:
         if iterations > self.max_iterations:
@@ -281,9 +328,9 @@ class FixpointEngine:
         # Round 0: all rules against the current workspace (exit rules fire;
         # seeds participate).
         for rule in rules:
+            store = workspace[rule.head.predicate]
             for row in self._eval_rule(rule, workspace, derived):
-                if row not in workspace[rule.head.predicate]:
-                    workspace[rule.head.predicate].add(row)
+                if self._store_add(store, row):
                     delta[rule.head.predicate].add(row)
 
         iterations = 1
@@ -304,9 +351,9 @@ class FixpointEngine:
                         continue
                     rows = self._eval_rule(rule, workspace, derived, position, delta_rows)
                     head_name = rule.head.predicate
+                    store = workspace[head_name]
                     for row in rows:
-                        if row not in workspace[head_name]:
-                            workspace[head_name].add(row)
+                        if self._store_add(store, row):
                             new_delta[head_name].add(row)
             delta = new_delta
             iterations += 1

@@ -95,12 +95,16 @@ class Interpreter:
         max_iterations: int = 100_000,
         max_tuples: int = 5_000_000,
         builtins=None,
+        compile: bool = True,
     ):
         self.db = db
         self.profiler = profiler or Profiler()
         self.max_iterations = max_iterations
         self.max_tuples = max_tuples
         self.builtins = builtins
+        #: Lower fixpoint rules into execution kernels (False = the
+        #: uncompiled reference path, kept for A/B measurement).
+        self.compile = compile
         self._cache: dict[tuple[int, Keys], frozenset[Row]] = {}
         #: per-plan-node measured execution stats (id(node) -> counters),
         #: consumed by EXPLAIN ANALYZE
@@ -254,6 +258,7 @@ class Interpreter:
             max_iterations=self.max_iterations,
             max_tuples=self.max_tuples,
             builtins=self.builtins,
+            compile=self.compile,
         )
 
     def _execute_fixpoint(self, node: FixpointNode, keys: Keys) -> frozenset[Row]:
@@ -292,9 +297,13 @@ class Interpreter:
             free_positions = [i for i in range(node.ref.arity) if i not in bound_positions]
             out: set[Row] = set()
             zero = Constant(0)
+            # One engine for all keys: each evaluate() builds a fresh
+            # workspace, while the rule kernels compiled for the first key
+            # are reused for every subsequent one.
+            engine = self._fixpoint_engine()
             for key in keys:
                 seeds = {node.seed_predicate: {(zero,) + key}}
-                result = self._fixpoint_engine().evaluate(node.program, seeds=seeds)
+                result = engine.evaluate(node.program, seeds=seeds)
                 for row in result.rows(node.answer_predicate):
                     if not node.answer_any_level and row[0] != zero:
                         continue

@@ -1,0 +1,421 @@
+"""Compiled execution kernels: per-rule physical plans for the fixpoint.
+
+The interpreted hot path re-derives the same facts about a rule on every
+semi-naive round: :meth:`FixpointEngine._ordered_body` re-runs the greedy
+safe-order search per rule per round, and :func:`~repro.engine.operators.scan_join`
+re-discovers each literal's bound/free argument layout and materializes a
+``dict(zip(schema, row))`` substitution per input row.  None of that
+depends on the data — only on the ``(rule, input schema)`` pair, which is
+fixed once the body order is chosen.
+
+This module compiles it out, the move LDL++ made when it lowered rules
+into reusable physical access plans (Arni et al.):
+
+* :func:`compile_rule` runs the safe-order search once, then simulates the
+  schema growth of the body left to right, producing one *kernel* per
+  literal with the input/output schemas and the bound/free position
+  layouts baked in.
+* **Flat** positive literals — every argument a ground term or a plain
+  variable, free variables all distinct; the overwhelmingly common case —
+  get a slot-indexed fast path: the join key is extracted straight from
+  row positions and output rows are built by tuple concatenation, with no
+  substitution dicts and no unification.  Complex terms (non-ground
+  structs, repeated free variables) fall back to the general
+  :func:`~repro.engine.operators.scan_join` path, which unifies.
+* Derived extensions are :class:`~repro.storage.relation.DerivedRelation`
+  workspaces, so hash/index joins probe persistent, incrementally
+  maintained indexes instead of rebuilding buckets every round.
+
+Kernels charge the same tuple-traffic counters as the interpreted
+operators (probes, examined candidates, produced rows), so measured cost
+comparisons stay apples-to-apples; they additionally record per-kernel
+wall-clock via :meth:`Profiler.add_time`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping
+
+from ..datalog.literals import Literal
+from ..datalog.rules import Rule
+from ..datalog.terms import Term, Variable, is_ground, variables_of
+from ..errors import ExecutionError
+from .operators import (
+    BindingsTable,
+    Row,
+    _literal_vars_in_order,
+    aggregate_rows,
+    apply_comparison,
+    builtin_join,
+    head_rows,
+    negation_filter,
+    scan_join,
+)
+from .profiler import Profiler
+
+#: Resolves a body literal to its current extension (workspace or base).
+ExtensionOf = Callable[[Literal], Iterable[Row]]
+#: Chooses the join method for a body literal.
+MethodOf = Callable[[Literal], str]
+
+
+@dataclass(frozen=True, slots=True)
+class JoinKernel:
+    """A positive body literal with its position layout precompiled."""
+
+    literal: Literal
+    in_schema: tuple[Variable, ...]
+    out_schema: tuple[Variable, ...]
+    new_vars: tuple[Variable, ...]
+    bound_positions: tuple[int, ...]
+    free_positions: tuple[int, ...]
+    #: True when the slot-indexed fast path applies (see module docstring).
+    flat: bool
+    #: Per bound position: input-row slot to read, or None for a constant.
+    key_slots: tuple[int | None, ...]
+    #: Per bound position: the fixed ground term, or None for a slot.
+    key_consts: tuple[Term | None, ...]
+    #: Extension-row positions appended to the output, in new_vars order.
+    free_out: tuple[int, ...]
+
+    def extract_key(self, row: Row) -> tuple[Term, ...]:
+        return tuple(
+            row[slot] if slot is not None else const
+            for slot, const in zip(self.key_slots, self.key_consts)
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class ComparisonKernel:
+    literal: Literal
+    in_schema: tuple[Variable, ...]
+    out_schema: tuple[Variable, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class NegationKernel:
+    #: The positive form of the negated literal.
+    literal: Literal
+    in_schema: tuple[Variable, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class BuiltinKernel:
+    literal: Literal
+    builtin: object
+    in_schema: tuple[Variable, ...]
+    out_schema: tuple[Variable, ...]
+
+
+Kernel = JoinKernel | ComparisonKernel | NegationKernel | BuiltinKernel
+
+
+@dataclass(frozen=True, slots=True)
+class HeadKernel:
+    """Slot-indexed head instantiation for flat heads (no substitutions)."""
+
+    slots: tuple[int | None, ...]
+    consts: tuple[Term | None, ...]
+
+    def instantiate(self, row: Row) -> Row:
+        return tuple(
+            row[slot] if slot is not None else const
+            for slot, const in zip(self.slots, self.consts)
+        )
+
+
+def _flat_layout(
+    literal: Literal,
+    schema: tuple[Variable, ...],
+    bound_positions: tuple[int, ...],
+    free_positions: tuple[int, ...],
+    new_vars: tuple[Variable, ...],
+) -> tuple[bool, tuple[int | None, ...], tuple[Term | None, ...], tuple[int, ...]]:
+    """Compute the slot layout, or mark the literal non-flat."""
+    slot = {v: i for i, v in enumerate(schema)}
+    key_slots: list[int | None] = []
+    key_consts: list[Term | None] = []
+    for position in bound_positions:
+        arg = literal.args[position]
+        if isinstance(arg, Variable):
+            key_slots.append(slot[arg])
+            key_consts.append(None)
+        elif is_ground(arg):
+            key_slots.append(None)
+            key_consts.append(arg)
+        else:
+            # A non-ground struct over bound variables needs apply() per row.
+            return False, (), (), ()
+    free_var_positions: dict[Variable, int] = {}
+    for position in free_positions:
+        arg = literal.args[position]
+        if not isinstance(arg, Variable) or arg in free_var_positions:
+            # Complex free term, or a repeated free variable: both need
+            # unification between extension fields.
+            return False, (), (), ()
+        free_var_positions[arg] = position
+    # new_vars is exactly the free variables in first-occurrence order, so
+    # every new var has a unique source position.
+    free_out = tuple(free_var_positions[var] for var in new_vars)
+    return True, tuple(key_slots), tuple(key_consts), free_out
+
+
+@dataclass(frozen=True, slots=True)
+class CompiledRule:
+    """A rule lowered to an ordered sequence of execution kernels."""
+
+    rule: Rule
+    body: tuple[Literal, ...]
+    steps: tuple[Kernel, ...]
+    #: Maps an original-body literal index to its position in `body`.
+    delta_map: tuple[int, ...]
+    head_kernel: HeadKernel | None
+    out_schema: tuple[Variable, ...]
+
+    def delta_position(self, original_index: int) -> int:
+        return self.delta_map[original_index]
+
+    # -- execution -------------------------------------------------------------
+
+    def execute(
+        self,
+        extension_of: ExtensionOf,
+        method_of: MethodOf,
+        profiler: Profiler,
+        delta_position: int | None = None,
+        delta_rows: Iterable[Row] | None = None,
+    ) -> set[Row]:
+        """Evaluate the body and instantiate the head — the compiled twin
+        of ``FixpointEngine._eval_rule``."""
+        head = self.rule.head
+        table = BindingsTable.unit()
+        for position, step in enumerate(self.steps):
+            if not table.rows:
+                return set()
+            start = time.perf_counter()
+            if isinstance(step, JoinKernel):
+                if position == delta_position and delta_rows is not None:
+                    table = execute_join_kernel(step, table, delta_rows, "hash", profiler)
+                else:
+                    extension = extension_of(step.literal)
+                    table = execute_join_kernel(
+                        step, table, extension, method_of(step.literal), profiler
+                    )
+                label = f"join:{head.predicate}:{step.literal.predicate}"
+            elif isinstance(step, ComparisonKernel):
+                table = apply_comparison(table, step.literal, profiler)
+                label = f"compare:{head.predicate}:{step.literal.predicate}"
+            elif isinstance(step, NegationKernel):
+                extension = extension_of(step.literal)
+                rows = extension.rows if hasattr(extension, "rows") else extension
+                table = negation_filter(table, step.literal, rows, profiler)
+                label = f"negation:{head.predicate}:{step.literal.predicate}"
+            else:
+                table = builtin_join(table, step.literal, step.builtin, profiler)
+                label = f"builtin:{head.predicate}:{step.literal.predicate}"
+            profiler.add_time(label, time.perf_counter() - start)
+        if self.rule.is_aggregate:
+            return aggregate_rows(table, head, profiler)
+        if self.head_kernel is not None and table.schema == self.out_schema:
+            out = {self.head_kernel.instantiate(row) for row in table.rows}
+            profiler.bump_produced(len(out))
+            return out
+        return head_rows(table, head, profiler)
+
+
+def execute_join_kernel(
+    kernel: JoinKernel,
+    table: BindingsTable,
+    extension: Iterable[Row],
+    method: str,
+    profiler: Profiler,
+) -> BindingsTable:
+    """Run a positive-literal join through its compiled kernel.
+
+    Falls back to the general unification path (:func:`scan_join`) for
+    non-flat literals, schema drift, and the merge method (which routes
+    through the sorted-order cache inside ``scan_join``).
+    """
+    if (
+        not kernel.flat
+        or table.schema != kernel.in_schema
+        or method not in ("nested_loop", "hash", "index")
+    ):
+        return scan_join(table, kernel.literal, extension, method, profiler)
+
+    from ..storage.relation import DerivedRelation, Relation
+
+    out_rows: set[Row] = set()
+    free_out = kernel.free_out
+    extract_key = kernel.extract_key
+
+    persistent = method == "index" or isinstance(extension, DerivedRelation)
+    if method != "nested_loop" and persistent and isinstance(extension, (Relation, DerivedRelation)):
+        index = extension.ensure_index(kernel.bound_positions)
+        for base_row in table.rows:
+            key = extract_key(base_row)
+            profiler.bump_probes()
+            bucket = index.get_bucket(key)
+            if bucket:
+                profiler.bump_examined(len(bucket))
+                for tuple_row in bucket:
+                    out_rows.add(base_row + tuple(tuple_row[p] for p in free_out))
+    elif method != "nested_loop":
+        ext_rows = extension if isinstance(extension, (list, set, frozenset)) else list(extension)
+        buckets: dict[tuple[Term, ...], list[Row]] = {}
+        bound = kernel.bound_positions
+        for row in ext_rows:
+            buckets.setdefault(tuple(row[i] for i in bound), []).append(row)
+        profiler.bump_examined(len(ext_rows))  # build side read once
+        for base_row in table.rows:
+            key = extract_key(base_row)
+            profiler.bump_probes()
+            bucket_rows = buckets.get(key)
+            if bucket_rows:
+                profiler.bump_examined(len(bucket_rows))
+                for tuple_row in bucket_rows:
+                    out_rows.add(base_row + tuple(tuple_row[p] for p in free_out))
+    else:
+        ext_rows = extension if isinstance(extension, (list, set, frozenset)) else list(extension)
+        bound = kernel.bound_positions
+        for base_row in table.rows:
+            key = extract_key(base_row)
+            for tuple_row in ext_rows:
+                profiler.bump_examined()
+                if tuple(tuple_row[i] for i in bound) == key:
+                    out_rows.add(base_row + tuple(tuple_row[p] for p in free_out))
+
+    profiler.bump_produced(len(out_rows))
+    return BindingsTable(kernel.out_schema, frozenset(out_rows))
+
+
+def compile_rule(
+    rule: Rule,
+    reorder: bool = True,
+    oracle=None,
+    builtins=None,
+) -> CompiledRule:
+    """Lower *rule* into a :class:`CompiledRule` for bottom-up execution.
+
+    Runs the safe-order search once (when *reorder* is set), then simulates
+    the left-to-right schema growth exactly as the interpreted operators
+    would extend it, fixing every kernel's input/output schema up front.
+    The caller caches the result per rule for the engine's lifetime.
+    """
+    from ..datalog.safety import exists_safe_order
+
+    if reorder:
+        if oracle is None:
+            from ..datalog.builtins import builtin_oracle
+
+            oracle = builtin_oracle(builtins)
+        order, reasons = exists_safe_order(rule.body, frozenset(), oracle)
+        if order is None:
+            raise ExecutionError(
+                f"no effectively computable order for rule '{rule}': " + "; ".join(reasons)
+            )
+        body = tuple(rule.body[i] for i in order)
+    else:
+        body = rule.body
+
+    delta_map = []
+    for target in rule.body:
+        positions = [i for i, literal in enumerate(body) if literal is target]
+        delta_map.append(positions[0] if positions else len(delta_map))
+
+    schema: tuple[Variable, ...] = ()
+    steps: list[Kernel] = []
+    for literal in body:
+        schema_set = set(schema)
+        if literal.is_comparison:
+            new_vars = tuple(v for v in _literal_vars_in_order(literal) if v not in schema_set)
+            out_schema = schema + new_vars
+            steps.append(ComparisonKernel(literal, schema, out_schema))
+            schema = out_schema
+            continue
+        if literal.negated:
+            steps.append(NegationKernel(literal.positive(), schema))
+            continue
+        if builtins is not None and literal.predicate in builtins:
+            builtin = builtins.get(literal.predicate)
+            if builtin is not None and builtin.arity == literal.arity:
+                new_vars = tuple(
+                    v for v in _literal_vars_in_order(literal) if v not in schema_set
+                )
+                out_schema = schema + new_vars
+                steps.append(BuiltinKernel(literal, builtin, schema, out_schema))
+                schema = out_schema
+                continue
+        new_vars = tuple(v for v in _literal_vars_in_order(literal) if v not in schema_set)
+        out_schema = schema + new_vars
+        bound_positions = tuple(
+            i for i, arg in enumerate(literal.args) if variables_of(arg) <= schema_set
+        )
+        free_positions = tuple(i for i in range(literal.arity) if i not in bound_positions)
+        flat, key_slots, key_consts, free_out = _flat_layout(
+            literal, schema, bound_positions, free_positions, new_vars
+        )
+        steps.append(
+            JoinKernel(
+                literal,
+                schema,
+                out_schema,
+                new_vars,
+                bound_positions,
+                free_positions,
+                flat,
+                key_slots,
+                key_consts,
+                free_out,
+            )
+        )
+        schema = out_schema
+
+    head_kernel = _compile_head(rule, schema)
+    return CompiledRule(rule, body, tuple(steps), tuple(delta_map), head_kernel, schema)
+
+
+def _compile_head(rule: Rule, schema: tuple[Variable, ...]) -> HeadKernel | None:
+    """Slot layout for a flat head; None when head_rows must unify."""
+    if rule.is_aggregate:
+        return None
+    slot = {v: i for i, v in enumerate(schema)}
+    slots: list[int | None] = []
+    consts: list[Term | None] = []
+    for arg in rule.head.args:
+        if isinstance(arg, Variable):
+            position = slot.get(arg)
+            if position is None:
+                return None  # unbound head variable: let head_rows raise
+            slots.append(position)
+            consts.append(None)
+        elif is_ground(arg):
+            slots.append(None)
+            consts.append(arg)
+        else:
+            return None  # complex head term: needs apply()
+    return HeadKernel(tuple(slots), tuple(consts))
+
+
+class KernelCache:
+    """Per-engine cache of compiled rules, keyed by rule identity."""
+
+    def __init__(self, reorder: bool = True, oracle=None, builtins=None):
+        self.reorder = reorder
+        self.oracle = oracle
+        self.builtins = builtins
+        self._compiled: dict[int, CompiledRule] = {}
+
+    def get(self, rule: Rule) -> CompiledRule:
+        compiled = self._compiled.get(id(rule))
+        if compiled is None:
+            compiled = compile_rule(
+                rule, reorder=self.reorder, oracle=self.oracle, builtins=self.builtins
+            )
+            self._compiled[id(rule)] = compiled
+        return compiled
+
+    def __len__(self) -> int:
+        return len(self._compiled)

@@ -70,7 +70,8 @@ class BindingsTable:
 
     def project(self, variables: Sequence[Variable]) -> "BindingsTable":
         """Keep only *variables* (duplicates collapse — set semantics)."""
-        positions = [self.schema.index(v) for v in variables]
+        slot = {v: i for i, v in enumerate(self.schema)}
+        positions = [slot[v] for v in variables]
         rows = frozenset(tuple(row[p] for p in positions) for row in self.rows)
         return BindingsTable(tuple(variables), rows)
 
@@ -139,11 +140,21 @@ def scan_join(
     )
     free_positions = tuple(i for i in range(literal.arity) if i not in bound_positions)
 
-    # Materialize the extension rows once (it may be a generator).
-    from ..storage.relation import Relation  # local: storage must not import engine
+    # Materialize the extension rows once (it may be a generator).  Both
+    # Relation (base data) and DerivedRelation (fixpoint workspace) expose
+    # persistent, incrementally maintained indexes via ensure_index.
+    from ..storage.relation import DerivedRelation, Relation  # local: storage must not import engine
 
-    relation: Relation | None = extension if isinstance(extension, Relation) else None
-    if method == "index" and relation is not None:
+    relation: Relation | DerivedRelation | None = (
+        extension if isinstance(extension, (Relation, DerivedRelation)) else None
+    )
+    use_persistent = method == "index" or (
+        # Derived extensions under "hash" also route through the persistent
+        # index: rebuilding buckets over the full partial result every
+        # semi-naive round is exactly the work this cache eliminates.
+        method == "hash" and isinstance(extension, DerivedRelation)
+    )
+    if use_persistent and relation is not None:
         index = relation.ensure_index(bound_positions)
         buckets: Mapping[tuple[Term, ...], Iterable[Row]] | None = None
         ext_rows: list[Row] | None = None
@@ -173,8 +184,11 @@ def scan_join(
 
     if method == "merge":
         assert ext_rows is not None
+        keyed_ext, cached = _keyed_extension(relation, ext_rows, bound_positions)
+        if not cached:
+            profiler.bump_examined(len(keyed_ext))  # the extension sorting pass
         return _merge_join(
-            table, literal, ext_rows, bound_positions, out_schema, new_vars, profiler
+            table, literal, keyed_ext, bound_positions, out_schema, new_vars, profiler
         )
 
     for base_row in table.rows:
@@ -182,7 +196,7 @@ def scan_join(
         applied = [apply(arg, subst) for arg in literal.args]
         key = tuple(applied[i] for i in bound_positions)
         if index is not None:
-            candidates: Iterable[Row] = index.get(key)
+            candidates: Iterable[Row] = index.get_bucket(key)
             profiler.bump_probes()
         elif buckets is not None:
             candidates = buckets.get(key, ())
@@ -225,16 +239,49 @@ def _match_free(
     return out
 
 
+def _sort_key_fn(bound_positions: tuple[int, ...]):
+    """Row → sort key over *bound_positions* (the merge join's order)."""
+
+    def key_fn(row: Row) -> tuple:
+        return tuple(term_sort_key(row[i]) for i in bound_positions)
+
+    return key_fn
+
+
+def _keyed_extension(
+    relation, ext_rows: list[Row], bound_positions: tuple[int, ...]
+) -> tuple[list[tuple[tuple, Row]], bool]:
+    """The extension sorted on the join key, via the relation's order cache
+    when one is available (base and derived relations both carry one).
+
+    Returns ``(keyed_rows, was_cached)`` — a cache hit skips the sort and
+    its examined-tuples charge, which is what makes repeated merge joins
+    against an unchanged relation cheap.
+    """
+    key_fn = _sort_key_fn(bound_positions)
+    if relation is not None and hasattr(relation, "sorted_by"):
+        return relation.sorted_by(bound_positions, key_fn)
+    return (
+        sorted(((key_fn(row), row) for row in ext_rows), key=lambda pair: pair[0]),
+        False,
+    )
+
+
 def _merge_join(
     table: BindingsTable,
     literal: Literal,
-    ext_rows: list[Row],
+    keyed_ext: list[tuple[tuple, Row]],
     bound_positions: tuple[int, ...],
     out_schema: tuple[Variable, ...],
     new_vars: list[Variable],
     profiler: Profiler,
 ) -> BindingsTable:
-    """Sort-merge implementation of :func:`scan_join`."""
+    """Sort-merge implementation of :func:`scan_join`.
+
+    *keyed_ext* is the extension already sorted on the join key (possibly
+    served from a relation's order cache); only the input side is sorted
+    here.
+    """
     free_positions = tuple(i for i in range(len(literal.args)) if i not in bound_positions)
 
     keyed_inputs: list[tuple[tuple, Row, Substitution, list[Term]]] = []
@@ -243,12 +290,8 @@ def _merge_join(
         applied = [apply(arg, subst) for arg in literal.args]
         key = tuple(term_sort_key(applied[i]) for i in bound_positions)
         keyed_inputs.append((key, base_row, subst, applied))
-    keyed_ext = sorted(
-        ((tuple(term_sort_key(row[i]) for i in bound_positions), row) for row in ext_rows),
-        key=lambda pair: pair[0],
-    )
     keyed_inputs.sort(key=lambda item: item[0])
-    profiler.bump_examined(len(keyed_ext) + len(keyed_inputs))  # the sorting passes
+    profiler.bump_examined(len(keyed_inputs))  # the input sorting pass
 
     out_rows: set[Row] = set()
     left = 0

@@ -6,10 +6,18 @@ traffic: how many stored/intermediate tuples each operator examined and
 produced.  Tuple counts are what the estimates predict, so estimate vs.
 measurement comparisons (EXP-7) are apples to apples, and they are
 deterministic — no wall-clock noise in tests.
+
+Alongside the deterministic counters the profiler also keeps *wall-clock*
+aggregates: total seconds spent in profiled regions and a per-kernel
+timing breakdown (``timings``), fed by the compiled execution kernels.
+Timings are for benchmarks and EXPLAIN-style inspection only; tests
+assert on tuple counts, never on seconds.
 """
 
 from __future__ import annotations
 
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 
@@ -22,7 +30,9 @@ class Profiler:
     probes: int = 0     #: index/hash lookups performed
     materialized: int = 0  #: tuples written to temporary relations
     iterations: int = 0    #: fixpoint iterations executed
+    wall_seconds: float = 0.0  #: total seconds spent inside timed regions
     by_label: dict[str, int] = field(default_factory=dict)
+    timings: dict[str, float] = field(default_factory=dict)  #: seconds per kernel label
 
     def bump_examined(self, count: int = 1) -> None:
         self.examined += count
@@ -43,6 +53,27 @@ class Profiler:
         """Attribute work to a named operator/phase (for explain output)."""
         self.by_label[label] = self.by_label.get(label, 0) + count
 
+    def add_time(self, label: str, seconds: float) -> None:
+        """Attribute wall-clock time to a named kernel/phase."""
+        self.wall_seconds += seconds
+        self.timings[label] = self.timings.get(label, 0.0) + seconds
+
+    @contextmanager
+    def time_block(self, label: str):
+        """Context manager timing a region and charging it to *label*.
+
+        >>> p = Profiler()
+        >>> with p.time_block("join:anc"):
+        ...     pass
+        >>> "join:anc" in p.timings
+        True
+        """
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.add_time(label, time.perf_counter() - start)
+
     @property
     def total_work(self) -> int:
         """The single-number measured cost: tuples touched end to end."""
@@ -57,6 +88,10 @@ class Profiler:
             "iterations": self.iterations,
             "total_work": self.total_work,
         }
+
+    def timing_snapshot(self) -> dict[str, float]:
+        """Wall-clock aggregates: total seconds plus the per-kernel split."""
+        return {"wall_seconds": self.wall_seconds, **dict(sorted(self.timings.items()))}
 
     def __repr__(self) -> str:
         parts = ", ".join(f"{k}={v}" for k, v in self.snapshot().items())

@@ -41,6 +41,16 @@ class HashIndex:
         """All rows whose indexed columns equal *key*."""
         return frozenset(self._buckets.get(tuple(key), frozenset()))
 
+    _EMPTY_BUCKET: frozenset[Row] = frozenset()
+
+    def get_bucket(self, key: tuple[Term, ...]) -> "frozenset[Row] | set[Row]":
+        """The internal bucket for *key* — no defensive copy.
+
+        Hot-path variant of :meth:`get`: callers must not mutate the
+        returned set and must not hold it across inserts.
+        """
+        return self._buckets.get(key, self._EMPTY_BUCKET)
+
     def __contains__(self, key: Sequence[Term]) -> bool:
         return tuple(key) in self._buckets
 

@@ -17,7 +17,7 @@ lookup, insert); algebraic operations live in :mod:`repro.engine`.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Sequence
+from typing import Callable, Iterable, Iterator, Sequence
 
 from ..datalog.terms import Term, is_ground, term_from_python
 from ..errors import SchemaError
@@ -25,6 +25,38 @@ from .index import HashIndex
 
 #: A stored tuple: ground terms, one per column.
 Row = tuple[Term, ...]
+
+#: Maps a row to a sortable key for the merge join's order cache; supplied
+#: by the engine so storage stays free of term-ordering policy.
+SortKeyFn = Callable[[Row], tuple]
+
+
+class SortedOrderCache:
+    """Cached ``(sort_key, row)`` orders per key-position tuple.
+
+    Merge joins repeatedly sort a relation's extension on the same bound
+    positions; an unchanged relation can hand back the previous sort.  The
+    cache is validated against the owner's ``_version`` counter, which
+    every insert/remove/clear bumps — stale orders are silently rebuilt.
+    """
+
+    def __init__(self) -> None:
+        self._orders: dict[tuple[int, ...], tuple[int, list[tuple[tuple, Row]]]] = {}
+
+    def lookup(
+        self,
+        positions: tuple[int, ...],
+        version: int,
+        rows: Iterable[Row],
+        key_fn: SortKeyFn,
+    ) -> tuple[list[tuple[tuple, Row]], bool]:
+        """Return ``(sorted_keyed_rows, was_cached)`` for *positions*."""
+        hit = self._orders.get(positions)
+        if hit is not None and hit[0] == version:
+            return hit[1], True
+        keyed = sorted(((key_fn(row), row) for row in rows), key=lambda pair: pair[0])
+        self._orders[positions] = (version, keyed)
+        return keyed, False
 
 
 class Relation:
@@ -47,6 +79,8 @@ class Relation:
         self.columns = tuple(columns) if columns is not None else tuple(f"c{i}" for i in range(arity))
         self._rows: set[Row] = set()
         self._indexes: dict[tuple[int, ...], HashIndex] = {}
+        self._version = 0
+        self._sorted = SortedOrderCache()
 
     # -- loading ---------------------------------------------------------------
 
@@ -69,6 +103,7 @@ class Relation:
         if checked in self._rows:
             return False
         self._rows.add(checked)
+        self._version += 1
         for index in self._indexes.values():
             index.add(checked)
         return True
@@ -96,6 +131,7 @@ class Relation:
         if checked not in self._rows:
             return False
         self._rows.discard(checked)
+        self._version += 1
         for index in self._indexes.values():
             index.remove(checked)
         return True
@@ -106,6 +142,7 @@ class Relation:
 
     def clear(self) -> None:
         self._rows.clear()
+        self._version += 1
         for index in self._indexes.values():
             index.clear()
 
@@ -146,6 +183,17 @@ class Relation:
         """An existing index on exactly these positions, if any."""
         return self._indexes.get(tuple(positions))
 
+    def sorted_by(
+        self, positions: Sequence[int], key_fn: SortKeyFn
+    ) -> tuple[list[tuple[tuple, Row]], bool]:
+        """The extension sorted on *positions*, with a per-positions cache.
+
+        Returns ``(keyed_rows, was_cached)``; *key_fn* maps a row to its
+        sort key over the positions and must be consistent across calls
+        for a given positions tuple.
+        """
+        return self._sorted.lookup(tuple(positions), self._version, self._rows, key_fn)
+
     def lookup(self, positions: Sequence[int], key: Sequence[Term]) -> Iterator[Row]:
         """Tuples whose *positions* columns equal *key* (index-accelerated).
 
@@ -171,6 +219,95 @@ class Relation:
 
     def __repr__(self) -> str:
         return f"Relation({self.name!r}, arity={self.arity}, {len(self._rows)} tuples)"
+
+
+class DerivedRelation:
+    """An index-maintaining extension for derived predicates.
+
+    The fixpoint workspace traditionally holds a plain ``set[Row]`` per
+    derived predicate, which forces every hash/index join against a
+    partial result to rebuild its buckets from scratch each round.  This
+    class keeps the set semantics (``add`` returns newness, exactly what
+    semi-naive needs) while maintaining persistent :class:`HashIndex`es
+    and a :class:`SortedOrderCache` incrementally as deltas arrive.
+
+    Rows are assumed ground and of consistent arity — the engine derives
+    them from already-checked data, so no per-insert validation is done.
+    """
+
+    __slots__ = ("name", "_rows", "_indexes", "_sorted", "_version", "_frozen", "_frozen_version")
+
+    def __init__(self, name: str = "", rows: Iterable[Row] = ()):
+        self.name = name
+        self._rows: set[Row] = set(tuple(r) for r in rows)
+        self._indexes: dict[tuple[int, ...], HashIndex] = {}
+        self._sorted = SortedOrderCache()
+        self._version = 0
+        self._frozen: frozenset[Row] | None = None
+        self._frozen_version = -1
+
+    # -- set-like surface (what the fixpoint workspace uses) -------------------
+
+    def add(self, row: Row) -> bool:
+        """Insert one tuple; returns True if it was new (delta membership)."""
+        if row in self._rows:
+            return False
+        self._rows.add(row)
+        self._version += 1
+        for index in self._indexes.values():
+            index.add(row)
+        return True
+
+    def update(self, rows: Iterable[Row]) -> int:
+        """Insert many tuples; returns how many were new."""
+        added = 0
+        for row in rows:
+            if self.add(row):
+                added += 1
+        return added
+
+    def __contains__(self, row: object) -> bool:
+        return row in self._rows
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    @property
+    def rows(self) -> frozenset[Row]:
+        """The extension as a frozenset (cached until the next insert)."""
+        if self._frozen is None or self._frozen_version != self._version:
+            self._frozen = frozenset(self._rows)
+            self._frozen_version = self._version
+        return self._frozen
+
+    # -- physical access (what the join kernels use) ---------------------------
+
+    def ensure_index(self, positions: Sequence[int]) -> HashIndex:
+        """Create (or return) a persistent hash index on *positions*.
+
+        Unlike a per-call hash build, the index survives across fixpoint
+        rounds and is extended tuple-by-tuple as deltas are inserted.
+        """
+        key = tuple(positions)
+        index = self._indexes.get(key)
+        if index is None:
+            index = HashIndex(key)
+            for row in self._rows:
+                index.add(row)
+            self._indexes[key] = index
+        return index
+
+    def sorted_by(
+        self, positions: Sequence[int], key_fn: SortKeyFn
+    ) -> tuple[list[tuple[tuple, Row]], bool]:
+        """The extension sorted on *positions* (see :meth:`Relation.sorted_by`)."""
+        return self._sorted.lookup(tuple(positions), self._version, self._rows, key_fn)
+
+    def __repr__(self) -> str:
+        return f"DerivedRelation({self.name!r}, {len(self._rows)} tuples, {len(self._indexes)} indexes)"
 
 
 def relation_from_rows(name: str, rows: Iterable[Sequence[object]], arity: int | None = None) -> Relation:

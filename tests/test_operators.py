@@ -87,6 +87,32 @@ def test_profiler_counts_differ_by_method():
     assert hashed.examined < nl.examined
 
 
+def test_merge_join_reuses_sorted_order_cache():
+    """Regression: repeated merge joins against an unchanged relation must
+    not re-sort the extension — the examined count drops after call one."""
+    table = BindingsTable.from_rows((X,), rows_of(*[(f"k{i}",) for i in range(5)]))
+    rel = relation_from_rows("e", [(f"k{i}", i) for i in range(50)])
+    literal = parse_literal("e(X, Y)")
+
+    first = Profiler()
+    out_first = scan_join(table, literal, rel, "merge", first)
+    second = Profiler()
+    out_second = scan_join(table, literal, rel, "merge", second)
+
+    assert out_first.rows == out_second.rows
+    # First call pays the extension sorting pass (50 tuples); the repeat
+    # is served from the cache and only sorts the 5 input rows.
+    assert second.examined == first.examined - len(rel)
+
+    # Mutating the relation invalidates the cached order: one more tuple
+    # in the sorting pass and one more matched candidate.
+    rel.insert_values(("k0", 99))
+    third = Profiler()
+    out_third = scan_join(table, literal, rel, "merge", third)
+    assert third.examined == first.examined + 2
+    assert len(out_third.rows) == len(out_first.rows) + 1
+
+
 def test_apply_comparison_filters():
     table = BindingsTable.from_rows((X,), rows_of((1,), (5,)))
     out = apply_comparison(table, parse_literal("X < 3"))
