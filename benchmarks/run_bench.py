@@ -1,17 +1,23 @@
 #!/usr/bin/env python
 """Replay the EXP workloads compiled vs. uncompiled and record the trajectory.
 
-Runs the evaluation hot path twice per workload — once with the kernel
-compiler + incremental delta indexing (the default engine) and once
-through the ``compile=False`` escape hatch (the interpreted reference
-path) — verifies both produce identical answers, and writes a JSON
-report with wall time, measured tuple work, and speedups:
+Runs the evaluation hot path per workload in three configurations — the
+default engine (kernel compiler + incremental delta indexing + resource
+governor), the same engine with governance disabled (``governor=False``),
+and the ``compile=False`` interpreted reference path — verifies all
+produce identical answers, and writes a JSON report with wall time,
+measured tuple work, speedups, and the governor's overhead:
 
     PYTHONPATH=src python benchmarks/run_bench.py            # full run
     PYTHONPATH=src python benchmarks/run_bench.py --smoke    # CI-sized
     PYTHONPATH=src python benchmarks/run_bench.py --out path.json
+    PYTHONPATH=src python benchmarks/run_bench.py --max-overhead 1.02
 
-The default output is ``BENCH_PR1.json`` at the repository root; later
+``--max-overhead`` turns the run into a gate: exit 1 if the geometric
+mean of governed/ungoverned wall time exceeds the bound (the governor's
+cooperative ticks are budgeted at <2%).
+
+The default output is ``BENCH_PR2.json`` at the repository root; later
 PRs bump the suffix so the perf trajectory stays reviewable in-tree.
 """
 
@@ -42,12 +48,18 @@ def rows_of(db: Database, name: str) -> list[tuple]:
     return [tuple(f.value for f in row) for row in db.relation(name)]
 
 
-def timed_ask(kb: KnowledgeBase, query: str, compile: bool, repeats: int, **bindings):
+def timed_ask(
+    kb: KnowledgeBase, query: str, compile: bool, repeats: int,
+    governed: bool = True, **bindings,
+):
     """Best-of-*repeats* wall time plus measured work for one execution.
 
     The query form is compiled (optimizer-wise) once up front so both
     engine modes pay the same planning cost; each repetition builds a
-    fresh Interpreter so no memoized extensions carry over.
+    fresh Interpreter so no memoized extensions carry over.  With
+    ``governed=False`` the interpreter runs through the ``governor=False``
+    escape hatch — no ticks, no guards — the A/B baseline for the
+    governor's overhead.
     """
     compiled = kb.compile(query)
     best_wall = float("inf")
@@ -56,7 +68,8 @@ def timed_ask(kb: KnowledgeBase, query: str, compile: bool, repeats: int, **bind
     for _ in range(repeats):
         profiler = Profiler()
         interpreter = Interpreter(
-            kb.db, profiler=profiler, builtins=kb.builtins, compile=compile
+            kb.db, profiler=profiler, builtins=kb.builtins, compile=compile,
+            governor=None if governed else False,
         )
         start = time.perf_counter()
         answers = interpreter.run(compiled.plan, compiled.query, **bindings)
@@ -67,22 +80,28 @@ def timed_ask(kb: KnowledgeBase, query: str, compile: bool, repeats: int, **bind
 
 def bench_workload(name: str, kb: KnowledgeBase, query: str, repeats: int, **bindings) -> dict:
     compiled_stats, compiled_answers = timed_ask(kb, query, True, repeats, **bindings)
+    ungoverned_stats, ungoverned_answers = timed_ask(
+        kb, query, True, repeats, governed=False, **bindings
+    )
     baseline_stats, baseline_answers = timed_ask(kb, query, False, repeats, **bindings)
-    match = compiled_answers == baseline_answers
+    match = compiled_answers == baseline_answers == ungoverned_answers
     entry = {
         "workload": name,
         "query": query,
         "answers": len(compiled_answers),
         "results_match": match,
         "compiled": compiled_stats,
+        "ungoverned": ungoverned_stats,
         "uncompiled": baseline_stats,
         "speedup": baseline_stats["wall_s"] / max(compiled_stats["wall_s"], 1e-9),
         "work_ratio": baseline_stats["total_work"] / max(compiled_stats["total_work"], 1),
+        "governor_overhead": compiled_stats["wall_s"] / max(ungoverned_stats["wall_s"], 1e-9),
     }
     status = "ok" if match else "MISMATCH"
     print(
         f"  {name:<28} {entry['speedup']:>6.2f}x wall "
         f"({baseline_stats['wall_s'] * 1e3:8.2f}ms -> {compiled_stats['wall_s'] * 1e3:8.2f}ms)  "
+        f"gov {entry['governor_overhead']:>5.3f}x  "
         f"work {baseline_stats['total_work']:>8} -> {compiled_stats['total_work']:>8}  [{status}]"
     )
     return entry
@@ -144,7 +163,9 @@ def exp7_bom(assemblies: int, depth: int, fanout: int, repeats: int) -> dict:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true", help="small sizes (CI)")
-    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_PR1.json"))
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_PR2.json"))
+    parser.add_argument("--max-overhead", type=float, default=None,
+                        help="fail if geomean governed/ungoverned wall exceeds this")
     args = parser.parse_args(argv)
 
     repeats = 3 if args.smoke else 5
@@ -175,6 +196,9 @@ def main(argv: list[str] | None = None) -> int:
         "summary": {
             "geomean_speedup": _geomean([w["speedup"] for w in workloads]),
             "geomean_work_ratio": _geomean([w["work_ratio"] for w in workloads]),
+            "geomean_governor_overhead": _geomean(
+                [w["governor_overhead"] for w in workloads]
+            ),
             "mismatches": mismatches,
             "slower_than_baseline": slower,
             "more_work_than_baseline": more_work,
@@ -182,13 +206,22 @@ def main(argv: list[str] | None = None) -> int:
     }
     out_path = Path(args.out)
     out_path.write_text(json.dumps(report, indent=2) + "\n")
+    overhead = report["summary"]["geomean_governor_overhead"]
     print(
         f"wrote {out_path} — geomean speedup "
         f"{report['summary']['geomean_speedup']:.2f}x, "
-        f"work ratio {report['summary']['geomean_work_ratio']:.2f}x"
+        f"work ratio {report['summary']['geomean_work_ratio']:.2f}x, "
+        f"governor overhead {overhead:.3f}x"
     )
     if mismatches:
         print(f"RESULT MISMATCH in: {mismatches}", file=sys.stderr)
+        return 1
+    if args.max_overhead is not None and overhead > args.max_overhead:
+        print(
+            f"GOVERNOR OVERHEAD {overhead:.3f}x exceeds bound "
+            f"{args.max_overhead:.3f}x",
+            file=sys.stderr,
+        )
         return 1
     return 0
 

@@ -23,14 +23,22 @@ Most applications only need :class:`repro.KnowledgeBase`:
 [('bart',), ('homer',)]
 """
 
+from .engine.faults import FaultInjector, InjectedFault
+from .engine.governor import ResourceGovernor, make_governor
 from .errors import (
+    DeadlineExceeded,
+    ExecutionCancelled,
     ExecutionError,
+    IterationBudgetExceeded,
     KnowledgeBaseError,
+    MemoryBudgetExceeded,
     OptimizationError,
     ParseError,
     PlanError,
     ReproError,
+    ResourceExhausted,
     SchemaError,
+    TupleBudgetExceeded,
     UnsafeQueryError,
 )
 from .kb import KnowledgeBase
@@ -39,9 +47,15 @@ from .optimizer.optimizer import OptimizedQuery, Optimizer, OptimizerConfig
 __version__ = "1.0.0"
 
 __all__ = [
+    "DeadlineExceeded",
+    "ExecutionCancelled",
     "ExecutionError",
+    "FaultInjector",
+    "InjectedFault",
+    "IterationBudgetExceeded",
     "KnowledgeBase",
     "KnowledgeBaseError",
+    "MemoryBudgetExceeded",
     "OptimizationError",
     "OptimizedQuery",
     "Optimizer",
@@ -49,7 +63,11 @@ __all__ = [
     "ParseError",
     "PlanError",
     "ReproError",
+    "ResourceExhausted",
+    "ResourceGovernor",
     "SchemaError",
+    "TupleBudgetExceeded",
     "UnsafeQueryError",
     "__version__",
+    "make_governor",
 ]

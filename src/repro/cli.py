@@ -32,8 +32,28 @@ from pathlib import Path
 from typing import IO, Sequence
 
 from . import KnowledgeBase, OptimizerConfig
-from .errors import ReproError
+from .engine.governor import make_governor
+from .errors import ParseError, ReproError, ResourceExhausted, UnsafeQueryError
 from .plans.serialize import plan_to_json
+
+#: Exit codes (documented in docs/api.md): scripts can tell *why* a query
+#: failed without parsing stderr.  2 is argparse's own usage-error code.
+EXIT_OK = 0
+EXIT_ERROR = 1
+EXIT_USAGE = 2
+EXIT_PARSE = 3
+EXIT_UNSAFE = 4
+EXIT_RESOURCE = 5
+
+
+def _exit_code_for(err: ReproError) -> int:
+    if isinstance(err, ResourceExhausted):
+        return EXIT_RESOURCE
+    if isinstance(err, UnsafeQueryError):
+        return EXIT_UNSAFE
+    if isinstance(err, ParseError):
+        return EXIT_PARSE
+    return EXIT_ERROR
 
 
 def _parse_binding(text: str) -> tuple[str, object]:
@@ -68,9 +88,27 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--strategy", default="dp",
                         choices=("exhaustive", "dp", "kbz", "annealing", "textual"),
                         help="join-ordering strategy (default: dp)")
+    parser.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                        help="wall-clock deadline per query (exit code 5 on expiry)")
+    parser.add_argument("--max-tuples", type=int, default=None, metavar="N",
+                        help="query-wide live-tuple budget (exit code 5 on expiry)")
+    parser.add_argument("--max-memory", type=int, default=None, metavar="BYTES",
+                        help="approximate query-wide memory budget in bytes")
     parser.add_argument("-i", "--interactive", action="store_true",
                         help="drop into a REPL after loading files")
     return parser
+
+
+def _query_governor(args):
+    """A fresh governor per query when any resource flag was given (each
+    query gets the full budget), else None for the engine defaults."""
+    if args.timeout is None and args.max_tuples is None and args.max_memory is None:
+        return None
+    return make_governor(
+        deadline_seconds=args.timeout,
+        max_tuples=args.max_tuples,
+        max_memory_bytes=args.max_memory,
+    )
 
 
 def load_files(kb: KnowledgeBase, files: Sequence[Path], out: IO[str]) -> None:
@@ -87,7 +125,8 @@ def run_query(kb: KnowledgeBase, query: str, bindings: dict, args, out: IO[str])
     if args.json:
         print(plan_to_json(kb.compile(query).plan), file=out)
         return
-    answers = kb.ask(query, **bindings)
+    governor = _query_governor(args)
+    answers = kb.ask(query, governor=governor, **bindings)
     if not answers.variables:
         print("true." if len(answers) else "false.", file=out)
         return
@@ -149,18 +188,24 @@ def main(argv: Sequence[str] | None = None, stdin: IO[str] | None = None, stdout
     kb = KnowledgeBase(OptimizerConfig(strategy=args.strategy))
     try:
         load_files(kb, args.files, out)
-    except (ReproError, OSError) as err:
+    except OSError as err:
         print(f"error: {err}", file=out)
-        return 1
+        return EXIT_ERROR
+    except ReproError as err:
+        print(f"error: {err}", file=out)
+        return _exit_code_for(err)
 
     bindings = dict(args.bind)
-    status = 0
+    status = EXIT_OK
     for query in args.query:
         try:
             run_query(kb, query, bindings, args, out)
         except ReproError as err:
             print(f"error: {err}", file=out)
-            status = 1
+            if status == EXIT_OK:
+                # first failure wins: one bad query must not be masked
+                # by a later, differently-failing one
+                status = _exit_code_for(err)
     if args.interactive:
         repl(kb, args, stdin or sys.stdin, out)
     return status

@@ -1,7 +1,9 @@
 """The execution engine: operators, fixpoints, and the plan interpreter."""
 
 from .evaluable import compare_terms, eval_term, solve_comparison, term_sort_key
+from .faults import FaultInjector, FaultRule, InjectedFault
 from .fixpoint import EvaluationResult, FixpointEngine, evaluate_program
+from .governor import ResourceGovernor, make_governor
 from .interpreter import Interpreter, QueryAnswers
 from .kernels import CompiledRule, JoinKernel, KernelCache, compile_rule
 from .operators import (
@@ -22,13 +24,17 @@ __all__ = [
     "BindingsTable",
     "CompiledRule",
     "EvaluationResult",
+    "FaultInjector",
+    "FaultRule",
     "FixpointEngine",
+    "InjectedFault",
     "Interpreter",
     "JOIN_METHODS",
     "JoinKernel",
     "KernelCache",
     "Profiler",
     "QueryAnswers",
+    "ResourceGovernor",
     "Row",
     "TopDownEngine",
     "ViewSet",
@@ -38,6 +44,7 @@ __all__ = [
     "eval_term",
     "evaluate_program",
     "head_rows",
+    "make_governor",
     "negation_filter",
     "scan_join",
     "solve_comparison",

@@ -16,9 +16,15 @@ reordering is disabled and the order is *trusted* — an unsafe order then
 raises :class:`~repro.errors.ExecutionError`, which is exactly the
 run-time behaviour the compile-time safety analysis exists to preclude.
 
-Termination guards (``max_iterations``, ``max_tuples``) bound runaway
-fixpoints of unsafe programs; hitting a guard raises — the run-time
-manifestation of the paper's "infinite cost".
+Termination guards are enforced by a
+:class:`~repro.engine.governor.ResourceGovernor` (built from
+``max_iterations``/``max_tuples`` when none is supplied): live tuples —
+workspace *plus* the current round's delta *plus* the in-flight
+intermediate rows of the join being executed — are charged cooperatively
+inside the hot loops, so an explosive join round aborts mid-join with
+:class:`~repro.errors.ResourceExhausted` instead of blowing past the
+budget unobserved.  That abort is the run-time manifestation of the
+paper's "infinite cost".
 """
 
 from __future__ import annotations
@@ -33,6 +39,7 @@ from ..datalog.safety import exists_safe_order
 from ..errors import ExecutionError
 from ..storage.catalog import Database
 from ..storage.relation import DerivedRelation
+from .governor import ResourceGovernor, make_governor
 from .kernels import KernelCache
 from .operators import (
     BindingsTable,
@@ -81,7 +88,14 @@ class FixpointEngine:
     profiler:
         Work counters; a fresh one is created if omitted.
     max_iterations / max_tuples:
-        Termination guards per recursive clique / per evaluation.
+        Termination guards; used to build a default governor when no
+        *governor* is passed.  ``None`` disables the respective budget.
+    governor:
+        A :class:`~repro.engine.governor.ResourceGovernor` shared across
+        the whole query (deadlines, query-wide budgets, cancellation,
+        fault injection).  ``None`` builds one from the guards above;
+        ``False`` disables governance entirely (the ungoverned escape
+        hatch kept for overhead A/B measurement — no guards at all).
     method_chooser:
         Join method per literal (EL label); defaults to hash joins.
     reorder_bodies:
@@ -105,6 +119,7 @@ class FixpointEngine:
         reorder_bodies: bool = True,
         builtins: "BuiltinRegistry | None" = None,
         compile: bool = True,
+        governor: "ResourceGovernor | None | bool" = None,
     ):
         from ..datalog.builtins import builtin_oracle
 
@@ -112,6 +127,18 @@ class FixpointEngine:
         self.profiler = profiler or Profiler()
         self.max_iterations = max_iterations
         self.max_tuples = max_tuples
+        if governor is False:
+            self.governor: ResourceGovernor | None = None
+        elif governor is not None:
+            self.governor = governor
+            if governor.profiler is None:
+                governor.profiler = self.profiler
+        else:
+            self.governor = make_governor(
+                max_tuples=max_tuples,
+                max_iterations=max_iterations,
+                profiler=self.profiler,
+            )
         self.method_chooser = method_chooser or _default_method
         self.reorder_bodies = reorder_bodies
         self.builtins = builtins
@@ -166,23 +193,28 @@ class FixpointEngine:
         delta_rows: Iterable[Row] | None = None,
     ) -> BindingsTable:
         table = BindingsTable.unit()
+        governor = self.governor
         for position, literal in enumerate(body):
             if not table.rows:
                 return table
             if literal.is_comparison:
-                table = apply_comparison(table, literal, self.profiler)
+                table = apply_comparison(table, literal, self.profiler, governor=governor)
                 continue
             if literal.negated:
                 extension = self._extension(literal.positive(), workspace, derived)
                 rows = extension.rows if hasattr(extension, "rows") else extension
-                table = negation_filter(table, literal.positive(), rows, self.profiler)
+                table = negation_filter(
+                    table, literal.positive(), rows, self.profiler, governor=governor
+                )
                 continue
             if self.builtins is not None and literal.predicate in self.builtins:
                 builtin = self.builtins.get(literal.predicate)
                 if builtin is not None and builtin.arity == literal.arity:
                     from .operators import builtin_join
 
-                    table = builtin_join(table, literal, builtin, self.profiler)
+                    table = builtin_join(
+                        table, literal, builtin, self.profiler, governor=governor
+                    )
                     continue
             if position == delta_literal and delta_rows is not None:
                 extension = delta_rows
@@ -190,7 +222,9 @@ class FixpointEngine:
             else:
                 extension = self._extension(literal, workspace, derived)
                 method = self.method_chooser(literal)
-            table = scan_join(table, literal, extension, method, self.profiler)
+            table = scan_join(
+                table, literal, extension, method, self.profiler, governor=governor
+            )
         return table
 
     def _eval_rule(
@@ -213,6 +247,7 @@ class FixpointEngine:
                     else None
                 ),
                 delta_rows=delta_rows,
+                governor=self.governor,
             )
         body = self._ordered_body(rule)
         if delta_literal is not None:
@@ -225,8 +260,8 @@ class FixpointEngine:
             delta_position = None
         table = self._eval_body(body, workspace, derived, delta_position, delta_rows)
         if rule.is_aggregate:
-            return aggregate_rows(table, rule.head, self.profiler)
-        return head_rows(table, rule.head, self.profiler)
+            return aggregate_rows(table, rule.head, self.profiler, governor=self.governor)
+        return head_rows(table, rule.head, self.profiler, governor=self.governor)
 
     # -- the fixpoint ------------------------------------------------------------
 
@@ -245,6 +280,9 @@ class FixpointEngine:
         graph = DependencyGraph(program)
         graph.check_stratified()
         derived = program.derived_predicates
+        governor = self.governor
+        if governor is not None:
+            governor.arm()
 
         # Compiled evaluation stores derived extensions as index-maintaining
         # relations so join kernels keep persistent buckets across rounds.
@@ -272,6 +310,8 @@ class FixpointEngine:
                 for rule in component_rules:
                     rows = self._eval_rule(rule, workspace, derived)
                     workspace[rule.head.predicate].update(rows)
+                    if governor is not None:
+                        governor.settle(self._live_tuples(workspace))
                 continue
             iterations = (
                 self._naive_clique(component_rules, component, workspace, derived)
@@ -281,6 +321,8 @@ class FixpointEngine:
             total_iterations += iterations
 
         self.profiler.bump_iterations(total_iterations)
+        if governor is not None:
+            governor.end_region()
         return EvaluationResult(
             relations={
                 name: store.rows if isinstance(store, DerivedRelation) else frozenset(store)
@@ -302,18 +344,16 @@ class FixpointEngine:
         store.add(row)
         return True
 
-    def _check_guards(self, iterations: int, workspace: Mapping[str, set[Row]]) -> None:
-        if iterations > self.max_iterations:
-            raise ExecutionError(
-                f"fixpoint exceeded {self.max_iterations} iterations — "
-                "runaway recursion (unsafe execution)"
-            )
-        total = sum(len(rows) for rows in workspace.values())
-        if total > self.max_tuples:
-            raise ExecutionError(
-                f"fixpoint exceeded {self.max_tuples} tuples — "
-                "runaway recursion (unsafe execution)"
-            )
+    @staticmethod
+    def _live_tuples(workspace: Mapping[str, set[Row]]) -> int:
+        return sum(len(rows) for rows in workspace.values())
+
+    def _check_guards(self, workspace: Mapping[str, set[Row]]) -> None:
+        """Round-boundary guard check: refresh the governor's view of the
+        workspace (which already holds this round's delta) and charge one
+        fixpoint round against the iteration budget."""
+        if self.governor is not None:
+            self.governor.checkpoint_round(self._live_tuples(workspace))
 
     def _seminaive_clique(
         self,
@@ -324,6 +364,7 @@ class FixpointEngine:
     ) -> int:
         names = {ref.name for ref in component}
         delta: dict[str, set[Row]] = {name: set() for name in names}
+        governor = self.governor
 
         # Round 0: all rules against the current workspace (exit rules fire;
         # seeds participate).
@@ -332,10 +373,12 @@ class FixpointEngine:
             for row in self._eval_rule(rule, workspace, derived):
                 if self._store_add(store, row):
                     delta[rule.head.predicate].add(row)
+            if governor is not None:
+                governor.settle(self._live_tuples(workspace))
+        self._check_guards(workspace)
 
         iterations = 1
         while any(delta.values()):
-            self._check_guards(iterations, workspace)
             new_delta: dict[str, set[Row]] = {name: set() for name in names}
             for rule in rules:
                 clique_positions = [
@@ -355,8 +398,13 @@ class FixpointEngine:
                     for row in rows:
                         if self._store_add(store, row):
                             new_delta[head_name].add(row)
+                    if governor is not None:
+                        governor.settle(self._live_tuples(workspace))
             delta = new_delta
             iterations += 1
+            # Checked *after* the round so the final round's production is
+            # still guarded (the old guard skipped it).
+            self._check_guards(workspace)
         return iterations
 
     def _naive_clique(
@@ -366,11 +414,11 @@ class FixpointEngine:
         workspace: dict[str, set[Row]],
         derived: frozenset[PredicateRef],
     ) -> int:
+        governor = self.governor
         iterations = 0
         changed = True
         while changed:
             iterations += 1
-            self._check_guards(iterations, workspace)
             changed = False
             for rule in rules:
                 rows = self._eval_rule(rule, workspace, derived)
@@ -379,6 +427,9 @@ class FixpointEngine:
                 workspace[head_name].update(rows)
                 if len(workspace[head_name]) != before:
                     changed = True
+                if governor is not None:
+                    governor.settle(self._live_tuples(workspace))
+            self._check_guards(workspace)
         return iterations
 
 

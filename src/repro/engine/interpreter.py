@@ -35,6 +35,7 @@ from ..errors import ExecutionError
 from ..plans.nodes import FixpointNode, JoinNode, UnionNode
 from ..storage.catalog import Database
 from .fixpoint import FixpointEngine
+from .governor import ResourceGovernor, make_governor
 from .operators import (
     BindingsTable,
     Row,
@@ -96,11 +97,29 @@ class Interpreter:
         max_tuples: int = 5_000_000,
         builtins=None,
         compile: bool = True,
+        deadline_seconds: float | None = None,
+        max_memory_bytes: int | None = None,
+        governor: "ResourceGovernor | None | bool" = None,
     ):
         self.db = db
         self.profiler = profiler or Profiler()
         self.max_iterations = max_iterations
         self.max_tuples = max_tuples
+        if governor is False:
+            # The ungoverned escape hatch (overhead A/B): no guards at all.
+            self.governor: ResourceGovernor | None = None
+        elif governor is not None:
+            self.governor = governor
+            if governor.profiler is None:
+                governor.profiler = self.profiler
+        else:
+            self.governor = make_governor(
+                deadline_seconds=deadline_seconds,
+                max_tuples=max_tuples,
+                max_memory_bytes=max_memory_bytes,
+                max_iterations=max_iterations,
+                profiler=self.profiler,
+            )
         self.builtins = builtins
         #: Lower fixpoint rules into execution kernels (False = the
         #: uncompiled reference path, kept for A/B measurement).
@@ -128,6 +147,8 @@ class Interpreter:
         row = tuple(term_from_python(bindings[v.name]) for v in schema)
         table = BindingsTable.from_rows(schema, [row]) if schema else BindingsTable.unit()
 
+        if self.governor is not None:
+            self.governor.arm()
         wrapper = plan_root.children[0]
         final = self._run_steps(wrapper, table)
         out_vars = query.output_vars
@@ -151,6 +172,10 @@ class Interpreter:
         else:
             result = self._execute_fixpoint(node, keys)
         self._cache[cache_key] = result
+        if self.governor is not None:
+            # Cached extensions stay live for the rest of the query, so
+            # they count against the query-wide tuple/memory budgets.
+            self.governor.retain(len(result))
         self._record(node, len(result))
         return result
 
@@ -194,14 +219,17 @@ class Interpreter:
             table = BindingsTable.from_rows(tuple(schema), rows)
         final = self._run_steps(node, table)
         if node.rule.is_aggregate:
-            return frozenset(aggregate_rows(final, head, self.profiler))
-        return frozenset(head_rows(final, head, self.profiler))
+            return frozenset(aggregate_rows(final, head, self.profiler, governor=self.governor))
+        return frozenset(head_rows(final, head, self.profiler, governor=self.governor))
 
     def _run_steps(self, node: JoinNode, table: BindingsTable) -> BindingsTable:
+        governor = self.governor
         for step in node.steps:
             if not table.rows:
                 return table
             table = self._apply_step(step, table)
+            if governor is not None:
+                governor.settle(len(table.rows))
             stats = self.node_stats.setdefault(
                 id(step), {"calls": 0, "cached_calls": 0, "rows": 0}
             )
@@ -211,27 +239,36 @@ class Interpreter:
 
     def _apply_step(self, step, table: BindingsTable) -> BindingsTable:
         literal = step.literal
+        governor = self.governor
         if literal.is_comparison:
-            return apply_comparison(table, literal, self.profiler)
+            return apply_comparison(table, literal, self.profiler, governor=governor)
         if literal.negated:
             extension = self._step_extension(step, literal, None)
-            return negation_filter(table, literal.positive(), extension, self.profiler)
+            return negation_filter(
+                table, literal.positive(), extension, self.profiler, governor=governor
+            )
         if step.child is not None:
             if step.pipelined:
                 keys = self._probe_keys(table, literal, step.child.binding.bound_positions)
                 extension = self.execute(step.child, keys)
             else:
                 extension = self.execute(step.child, None)
-            return scan_join(table, literal, extension, "hash", self.profiler)
+            return scan_join(
+                table, literal, extension, "hash", self.profiler, governor=governor
+            )
         if self.builtins is not None and literal.predicate in self.builtins:
             builtin = self.builtins.get(literal.predicate)
             if builtin is not None and builtin.arity == literal.arity:
                 from .operators import builtin_join
 
-                return builtin_join(table, literal, builtin, self.profiler)
+                return builtin_join(
+                    table, literal, builtin, self.profiler, governor=governor
+                )
         relation = self.db.relation(literal.predicate)
         method = step.method if step.method in ("nested_loop", "hash", "index", "merge") else "hash"
-        return scan_join(table, literal, relation, method, self.profiler)
+        return scan_join(
+            table, literal, relation, method, self.profiler, governor=governor
+        )
 
     def _step_extension(self, step, literal: Literal, keys: Keys) -> Iterable[Row]:
         """Extension of a (possibly derived) literal for a negation check."""
@@ -259,6 +296,10 @@ class Interpreter:
             max_tuples=self.max_tuples,
             builtins=self.builtins,
             compile=self.compile,
+            # Share the query-wide governor; an explicitly ungoverned
+            # interpreter keeps its fixpoints ungoverned too (rather than
+            # letting FixpointEngine build its own default).
+            governor=self.governor if self.governor is not None else False,
         )
 
     def _execute_fixpoint(self, node: FixpointNode, keys: Keys) -> frozenset[Row]:

@@ -173,6 +173,8 @@ class CompiledRule:
     delta_map: tuple[int, ...]
     head_kernel: HeadKernel | None
     out_schema: tuple[Variable, ...]
+    #: Per-step profiler/checkpoint labels, baked at compile time.
+    labels: tuple[str, ...] = ()
 
     def delta_position(self, original_index: int) -> int:
         return self.delta_map[original_index]
@@ -186,6 +188,7 @@ class CompiledRule:
         profiler: Profiler,
         delta_position: int | None = None,
         delta_rows: Iterable[Row] | None = None,
+        governor=None,
     ) -> set[Row]:
         """Evaluate the body and instantiate the head — the compiled twin
         of ``FixpointEngine._eval_rule``."""
@@ -194,35 +197,38 @@ class CompiledRule:
         for position, step in enumerate(self.steps):
             if not table.rows:
                 return set()
+            label = self.labels[position]
+            if governor is not None:
+                governor.checkpoint(label)
             start = time.perf_counter()
             if isinstance(step, JoinKernel):
                 if position == delta_position and delta_rows is not None:
-                    table = execute_join_kernel(step, table, delta_rows, "hash", profiler)
+                    table = execute_join_kernel(
+                        step, table, delta_rows, "hash", profiler, governor
+                    )
                 else:
                     extension = extension_of(step.literal)
                     table = execute_join_kernel(
-                        step, table, extension, method_of(step.literal), profiler
+                        step, table, extension, method_of(step.literal), profiler, governor
                     )
-                label = f"join:{head.predicate}:{step.literal.predicate}"
             elif isinstance(step, ComparisonKernel):
-                table = apply_comparison(table, step.literal, profiler)
-                label = f"compare:{head.predicate}:{step.literal.predicate}"
+                table = apply_comparison(table, step.literal, profiler, governor)
             elif isinstance(step, NegationKernel):
                 extension = extension_of(step.literal)
                 rows = extension.rows if hasattr(extension, "rows") else extension
-                table = negation_filter(table, step.literal, rows, profiler)
-                label = f"negation:{head.predicate}:{step.literal.predicate}"
+                table = negation_filter(table, step.literal, rows, profiler, governor)
             else:
-                table = builtin_join(table, step.literal, step.builtin, profiler)
-                label = f"builtin:{head.predicate}:{step.literal.predicate}"
+                table = builtin_join(table, step.literal, step.builtin, profiler, governor)
             profiler.add_time(label, time.perf_counter() - start)
         if self.rule.is_aggregate:
-            return aggregate_rows(table, head, profiler)
+            return aggregate_rows(table, head, profiler, governor)
         if self.head_kernel is not None and table.schema == self.out_schema:
             out = {self.head_kernel.instantiate(row) for row in table.rows}
             profiler.bump_produced(len(out))
+            if governor is not None:
+                governor.tick(len(out))
             return out
-        return head_rows(table, head, profiler)
+        return head_rows(table, head, profiler, governor)
 
 
 def execute_join_kernel(
@@ -231,25 +237,39 @@ def execute_join_kernel(
     extension: Iterable[Row],
     method: str,
     profiler: Profiler,
+    governor=None,
 ) -> BindingsTable:
     """Run a positive-literal join through its compiled kernel.
 
     Falls back to the general unification path (:func:`scan_join`) for
     non-flat literals, schema drift, and the merge method (which routes
     through the sorted-order cache inside ``scan_join``).
+
+    When a *governor* is attached, each probe's emissions are charged via
+    ``governor.tick`` — the cooperative-cancellation/budget check that
+    lets a single explosive join round abort mid-join instead of blowing
+    past ``max_tuples`` unobserved.
     """
     if (
         not kernel.flat
         or table.schema != kernel.in_schema
         or method not in ("nested_loop", "hash", "index")
     ):
-        return scan_join(table, kernel.literal, extension, method, profiler)
+        return scan_join(
+            table, kernel.literal, extension, method, profiler, governor=governor
+        )
 
     from ..storage.relation import DerivedRelation, Relation
 
     out_rows: set[Row] = set()
     free_out = kernel.free_out
     extract_key = kernel.extract_key
+    # Cooperative budget enforcement at tuple granularity for the price
+    # of one comparison per probe: while len(out_rows) stays below
+    # check_at the governor's budgets cannot be crossed (grant()'s
+    # contract), so no call is needed.
+    charged = 0
+    check_at = governor.grant() if governor is not None else float("inf")
 
     persistent = method == "index" or isinstance(extension, DerivedRelation)
     if method != "nested_loop" and persistent and isinstance(extension, (Relation, DerivedRelation)):
@@ -262,6 +282,11 @@ def execute_join_kernel(
                 profiler.bump_examined(len(bucket))
                 for tuple_row in bucket:
                     out_rows.add(base_row + tuple(tuple_row[p] for p in free_out))
+                if len(out_rows) >= check_at:
+                    emitted = len(out_rows)
+                    governor.tick(emitted - charged)
+                    charged = emitted
+                    check_at = emitted + governor.grant()
     elif method != "nested_loop":
         ext_rows = extension if isinstance(extension, (list, set, frozenset)) else list(extension)
         buckets: dict[tuple[Term, ...], list[Row]] = {}
@@ -277,6 +302,11 @@ def execute_join_kernel(
                 profiler.bump_examined(len(bucket_rows))
                 for tuple_row in bucket_rows:
                     out_rows.add(base_row + tuple(tuple_row[p] for p in free_out))
+                if len(out_rows) >= check_at:
+                    emitted = len(out_rows)
+                    governor.tick(emitted - charged)
+                    charged = emitted
+                    check_at = emitted + governor.grant()
     else:
         ext_rows = extension if isinstance(extension, (list, set, frozenset)) else list(extension)
         bound = kernel.bound_positions
@@ -286,7 +316,14 @@ def execute_join_kernel(
                 profiler.bump_examined()
                 if tuple(tuple_row[i] for i in bound) == key:
                     out_rows.add(base_row + tuple(tuple_row[p] for p in free_out))
+            if len(out_rows) >= check_at:
+                emitted = len(out_rows)
+                governor.tick(emitted - charged)
+                charged = emitted
+                check_at = emitted + governor.grant()
 
+    if governor is not None and len(out_rows) > charged:
+        governor.tick(len(out_rows) - charged)
     profiler.bump_produced(len(out_rows))
     return BindingsTable(kernel.out_schema, frozenset(out_rows))
 
@@ -374,7 +411,19 @@ def compile_rule(
         schema = out_schema
 
     head_kernel = _compile_head(rule, schema)
-    return CompiledRule(rule, body, tuple(steps), tuple(delta_map), head_kernel, schema)
+    head_name = rule.head.predicate
+    kinds = {
+        JoinKernel: "join",
+        ComparisonKernel: "compare",
+        NegationKernel: "negation",
+        BuiltinKernel: "builtin",
+    }
+    labels = tuple(
+        f"{kinds[type(step)]}:{head_name}:{step.literal.predicate}" for step in steps
+    )
+    return CompiledRule(
+        rule, body, tuple(steps), tuple(delta_map), head_kernel, schema, labels
+    )
 
 
 def _compile_head(rule: Rule, schema: tuple[Variable, ...]) -> HeadKernel | None:

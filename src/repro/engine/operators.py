@@ -105,6 +105,7 @@ def scan_join(
     method: str = "hash",
     profiler: Profiler | None = None,
     label: str = "",
+    governor=None,
 ) -> BindingsTable:
     """Join *table* with the extension of *literal*'s predicate.
 
@@ -188,9 +189,12 @@ def scan_join(
         if not cached:
             profiler.bump_examined(len(keyed_ext))  # the extension sorting pass
         return _merge_join(
-            table, literal, keyed_ext, bound_positions, out_schema, new_vars, profiler
+            table, literal, keyed_ext, bound_positions, out_schema, new_vars, profiler,
+            governor=governor,
         )
 
+    charged = 0
+    check_at = governor.grant() if governor is not None else float("inf")
     for base_row in table.rows:
         subst: Substitution = dict(zip(table.schema, base_row))
         applied = [apply(arg, subst) for arg in literal.args]
@@ -209,7 +213,14 @@ def scan_join(
             extended = _match_free(applied, tuple_row, free_positions, subst)
             if extended is not None:
                 emit(extended, base_row)
+        if len(out_rows) >= check_at:
+            emitted = len(out_rows)
+            governor.tick(emitted - charged)
+            charged = emitted
+            check_at = emitted + governor.grant()
 
+    if governor is not None and len(out_rows) > charged:
+        governor.tick(len(out_rows) - charged)
     profiler.bump_produced(len(out_rows))
     if label:
         profiler.charge(label, len(out_rows))
@@ -275,6 +286,7 @@ def _merge_join(
     out_schema: tuple[Variable, ...],
     new_vars: list[Variable],
     profiler: Profiler,
+    governor=None,
 ) -> BindingsTable:
     """Sort-merge implementation of :func:`scan_join`.
 
@@ -294,6 +306,8 @@ def _merge_join(
     profiler.bump_examined(len(keyed_inputs))  # the input sorting pass
 
     out_rows: set[Row] = set()
+    charged = 0
+    check_at = governor.grant() if governor is not None else float("inf")
     left = 0
     right = 0
     while left < len(keyed_inputs) and right < len(keyed_ext):
@@ -327,9 +341,16 @@ def _merge_join(
                         extra.append(value)
                     if ok:
                         out_rows.add(base_row + tuple(extra))
+        if len(out_rows) >= check_at:
+            emitted = len(out_rows)
+            governor.tick(emitted - charged)
+            charged = emitted
+            check_at = emitted + governor.grant()
         left = left_end
         right = right_end
 
+    if governor is not None and len(out_rows) > charged:
+        governor.tick(len(out_rows) - charged)
     profiler.bump_produced(len(out_rows))
     return BindingsTable(out_schema, frozenset(out_rows))
 
@@ -339,6 +360,7 @@ def builtin_join(
     literal: Literal,
     builtin,
     profiler: Profiler | None = None,
+    governor=None,
 ) -> BindingsTable:
     """Join with a built-in (infinite) predicate by per-row evaluation.
 
@@ -355,7 +377,14 @@ def builtin_join(
     out_schema = table.schema + tuple(new_vars)
 
     out_rows: set[Row] = set()
+    charged = 0
+    check_at = governor.grant() if governor is not None else float("inf")
     for base_row in table.rows:
+        if len(out_rows) >= check_at:
+            emitted = len(out_rows)
+            governor.tick(emitted - charged)
+            charged = emitted
+            check_at = emitted + governor.grant()
         subst: Substitution = dict(zip(table.schema, base_row))
         applied = tuple(apply(arg, subst) for arg in literal.args)
         adornment = BindingPattern(
@@ -387,6 +416,8 @@ def builtin_join(
                     )
                 extra.append(value)
             out_rows.add(base_row + tuple(extra))
+    if governor is not None and len(out_rows) > charged:
+        governor.tick(len(out_rows) - charged)
     profiler.bump_produced(len(out_rows))
     return BindingsTable(out_schema, frozenset(out_rows))
 
@@ -395,6 +426,7 @@ def apply_comparison(
     table: BindingsTable,
     literal: Literal,
     profiler: Profiler | None = None,
+    governor=None,
 ) -> BindingsTable:
     """Execute a comparison literal against every row.
 
@@ -425,6 +457,10 @@ def apply_comparison(
                 )
             extra.append(apply(value, solved))
         out_rows.add(row + tuple(extra))
+    if governor is not None:
+        # Filters cannot emit more than their (already charged) input,
+        # so one cancellation/deadline probe per call is enough.
+        governor.tick()
     profiler.bump_produced(len(out_rows))
     return BindingsTable(out_schema, frozenset(out_rows))
 
@@ -434,6 +470,7 @@ def negation_filter(
     literal: Literal,
     extension: Iterable[Row],
     profiler: Profiler | None = None,
+    governor=None,
 ) -> BindingsTable:
     """Keep rows for which the (fully bound) negated literal has no match."""
     profiler = profiler or Profiler()
@@ -450,6 +487,8 @@ def negation_filter(
                 )
         if applied not in ext_rows:
             out_rows.add(row)
+    if governor is not None:
+        governor.tick()
     profiler.bump_produced(len(out_rows))
     return BindingsTable(table.schema, frozenset(out_rows))
 
@@ -479,6 +518,7 @@ def aggregate_rows(
     table: BindingsTable,
     head: Literal,
     profiler: Profiler | None = None,
+    governor=None,
 ) -> set[Row]:
     """Instantiate an *aggregate* head: group-by plain arguments,
     aggregate the wrapped variables over the rule's distinct derivations.
@@ -546,6 +586,8 @@ def aggregate_rows(
                 row.append(max(values, key=term_sort_key))
         out.add(tuple(row))
     profiler.bump_produced(len(out))
+    if governor is not None:
+        governor.tick(len(out))
     return out
 
 
@@ -553,6 +595,7 @@ def head_rows(
     table: BindingsTable,
     head: Literal,
     profiler: Profiler | None = None,
+    governor=None,
 ) -> set[Row]:
     """Instantiate *head* for every row — the tuples a rule derives."""
     profiler = profiler or Profiler()
@@ -566,4 +609,6 @@ def head_rows(
                 )
         out.add(row)
     profiler.bump_produced(len(out))
+    if governor is not None:
+        governor.tick(len(out))
     return out

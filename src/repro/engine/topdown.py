@@ -38,6 +38,7 @@ from ..datalog.unify import Substitution, apply, match, unify_sequences
 from ..errors import ExecutionError
 from ..storage.catalog import Database
 from .evaluable import solve_comparison
+from .governor import ResourceGovernor
 from .profiler import Profiler
 
 Row = tuple[Term, ...]
@@ -79,6 +80,7 @@ class TopDownEngine:
         profiler: Profiler | None = None,
         tabling: bool = True,
         max_depth: int = 2_000,
+        governor: ResourceGovernor | None = None,
     ):
         self.db = db
         self.program = program
@@ -86,6 +88,9 @@ class TopDownEngine:
         self.profiler = profiler or Profiler()
         self.tabling = tabling
         self.max_depth = max_depth
+        self.governor = governor
+        if governor is not None and governor.profiler is None:
+            governor.profiler = self.profiler
         self._tables: dict[tuple, _Table] = {}
         self._fresh = itertools.count()
 
@@ -94,6 +99,8 @@ class TopDownEngine:
     def solve(self, goal: Literal) -> frozenset[Row]:
         """All ground argument tuples satisfying *goal* (its free
         variables range over the answers)."""
+        if self.governor is not None:
+            self.governor.arm()
         try:
             if self.tabling:
                 # iterate to fixpoint: re-derive until no table grows
@@ -127,6 +134,8 @@ class TopDownEngine:
     def _solve_literal(
         self, literal: Literal, subst: Substitution, depth: int
     ) -> Iterator[Substitution]:
+        if self.governor is not None:
+            self.governor.tick()
         if depth > self.max_depth:
             raise ExecutionError(
                 f"SLD resolution exceeded depth {self.max_depth} "
@@ -175,6 +184,11 @@ class TopDownEngine:
         rules = self.program.rules_for(pred_ref(literal))
         if not rules:
             raise ExecutionError(f"unknown predicate {literal.predicate!r}")
+        if self.governor is not None:
+            # A named site on every rule resolution: fault plans target
+            # sld:<predicate>, and the checkpoint observes deadlines and
+            # cancellation between tick intervals.
+            self.governor.checkpoint(f"sld:{literal.predicate}")
         if self.tabling:
             yield from self._solve_tabled(literal, subst, rules, depth)
         else:
@@ -193,7 +207,10 @@ class TopDownEngine:
             self.profiler.bump_probes()
         else:
             candidates = relation
+        governor = self.governor
         for row in candidates:
+            if governor is not None:
+                governor.tick()
             self.profiler.bump_examined()
             extended: Substitution | None = subst
             for pattern, value in zip(literal.args, row):
@@ -245,12 +262,17 @@ class TopDownEngine:
         if table is None:
             table = _Table()
             self._tables[key] = table
+        governor = self.governor
         if not table.complete:
             table.complete = True  # mark first: recursive calls consume answers-so-far
             for answer_subst in self._expand_rules(literal, subst, rules, depth):
                 row = tuple(apply(arg, answer_subst) for arg in literal.args)
-                if all(is_ground(f) for f in row):
+                if all(is_ground(f) for f in row) and row not in table.answers:
                     table.answers.add(row)
+                    if governor is not None:
+                        # Tabled answers persist for the whole query, so
+                        # they count against the live-tuple budget.
+                        governor.tick(1)
         for row in sorted(table.answers, key=str):
             self.profiler.bump_examined()
             extended: Substitution | None = subst

@@ -55,6 +55,66 @@ class ExecutionError(ReproError):
     """
 
 
+class ResourceExhausted(ExecutionError):
+    """Raised when the execution governor aborts a query.
+
+    The static safety analysis is conservative by design; plans that slip
+    through it (runaway recursion, explosive joins) are stopped at run
+    time by :class:`~repro.engine.governor.ResourceGovernor`.  Each
+    variant corresponds to one exhausted budget.  ``snapshot`` carries
+    the profiler counters at abort time and ``partial`` the governor's
+    view of progress (live tuples, iterations, elapsed seconds), so
+    callers can report how far the query got before it was stopped.
+    """
+
+    #: short machine-readable tag for the exhausted budget
+    kind = "resource"
+
+    def __init__(
+        self,
+        message: str,
+        snapshot: dict | None = None,
+        partial: dict | None = None,
+    ):
+        super().__init__(message)
+        self.snapshot = dict(snapshot or {})
+        self.partial = dict(partial or {})
+
+
+class DeadlineExceeded(ResourceExhausted):
+    """The query's wall-clock deadline passed."""
+
+    kind = "deadline"
+
+
+class TupleBudgetExceeded(ResourceExhausted):
+    """The query-wide live-tuple budget was exceeded (possibly mid-join)."""
+
+    kind = "tuples"
+
+
+class MemoryBudgetExceeded(ResourceExhausted):
+    """The query-wide (approximate) memory budget was exceeded."""
+
+    kind = "memory"
+
+
+class IterationBudgetExceeded(ResourceExhausted):
+    """The query-wide fixpoint-iteration budget was exceeded."""
+
+    kind = "iterations"
+
+
+class ExecutionCancelled(ResourceExhausted):
+    """The query was cooperatively cancelled via ``governor.cancel()``.
+
+    Grouped under :class:`ResourceExhausted` so cancellation shares the
+    abort plumbing (snapshot, partial progress, CLI exit code).
+    """
+
+    kind = "cancelled"
+
+
 class OptimizationError(ReproError):
     """Raised when the optimizer cannot produce a plan for structural reasons."""
 

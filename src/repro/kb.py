@@ -185,9 +185,17 @@ class KnowledgeBase:
             self._optimizer = Optimizer(self.program, self.db, self.config, builtins=self.builtins)
         return self._optimizer
 
-    def compile(self, query: str | QueryForm) -> OptimizedQuery:
-        """Optimize a query form (cached per form + adornment)."""
+    def compile(self, query: str | QueryForm, governor=None) -> OptimizedQuery:
+        """Optimize a query form (cached per form + adornment).
+
+        *governor* bounds the search itself: on deadline expiry the
+        optimizer degrades its strategy instead of aborting (see
+        :meth:`Optimizer.optimize`).  Governed compilations are not
+        cached — a degraded plan must not shadow the full one.
+        """
         form = parse_query(query) if isinstance(query, str) else query
+        if governor is not None:
+            return self.optimizer.optimize(form, governor=governor)
         key = (str(form.goal), form.adornment.code)
         hit = self._compiled.get(key)
         if hit is not None:
@@ -223,6 +231,7 @@ class KnowledgeBase:
         self,
         query: str | QueryForm,
         profiler: Profiler | None = None,
+        governor=None,
         **bindings: object,
     ) -> QueryAnswers:
         """Compile (cached) and execute a query.
@@ -231,12 +240,20 @@ class KnowledgeBase:
         arguments: ``kb.ask("sg($X, Y)?", X="joe")``.  When the goal
         predicate is materialized (see :meth:`materialize`), the answer
         is served from the incrementally maintained view.
+
+        *governor* (a :class:`~repro.engine.governor.ResourceGovernor`,
+        or ``False`` to disable all limits) spans the whole execution:
+        deadline, live-tuple/memory budgets, cancellation, fault
+        injection.  The default builds one from the engine's standard
+        guards.
         """
         form = parse_query(query) if isinstance(query, str) else query
         if self._views is not None and form.predicate in self._views:
             return self._answer_from_view(form, profiler or Profiler(), bindings)
         compiled = self.compile(form)
-        interpreter = Interpreter(self.db, profiler=profiler, builtins=self.builtins)
+        interpreter = Interpreter(
+            self.db, profiler=profiler, builtins=self.builtins, governor=governor
+        )
         return interpreter.run(compiled.plan, compiled.query, **bindings)
 
     def _answer_from_view(self, form: QueryForm, profiler: Profiler, bindings: dict) -> QueryAnswers:

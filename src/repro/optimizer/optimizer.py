@@ -74,6 +74,12 @@ class OptimizerConfig:
     force_method: str | None = None
     seed: int = 0
     annealing: AnnealingSchedule = field(default_factory=AnnealingSchedule)
+    #: wall-clock budget for the whole search; once it expires the
+    #: exhaustive/DP strategies degrade to ``deadline_fallback`` and the
+    #: c-permutation enumeration is truncated (never an abort: the
+    #: optimizer always returns *a* plan, just a cheaper-to-find one)
+    deadline_seconds: float | None = None
+    deadline_fallback: str = "kbz"
 
 
 @dataclass(frozen=True, slots=True)
@@ -121,10 +127,16 @@ class Optimizer:
             raise OptimizationError(f"unknown strategy {self.config.strategy!r}")
         self.graph = DependencyGraph(program)
         self.graph.check_stratified()
+        if self.config.deadline_fallback not in STRATEGIES:
+            raise OptimizationError(
+                f"unknown deadline fallback {self.config.deadline_fallback!r}"
+            )
         self._memo: dict[tuple[str, str], _MemoEntry] = {}
         self._seminaive_cache: dict[frozenset[PredicateRef], Estimate] = {}
         self._diagnostics: list[str] = []
         self._rng = random.Random(self.config.seed)
+        #: the governor of the optimize() call in flight (None between calls)
+        self._governor = None
         #: counters exposed to the complexity benchmarks
         self.counters: dict[str, int] = {
             "and_optimizations": 0,
@@ -132,16 +144,42 @@ class Optimizer:
             "cc_optimizations": 0,
             "order_evaluations": 0,
             "cpermutations": 0,
+            "deadline_downgrades": 0,
         }
 
     # ------------------------------------------------------------------ API
 
-    def optimize(self, query: QueryForm) -> OptimizedQuery:
+    def optimize(self, query: QueryForm, governor=None) -> OptimizedQuery:
         """Compile *query* to a minimum-cost processing tree.
 
         Raises :class:`UnsafeQueryError` when no safe execution exists in
         the searched space (Section 8.2).
+
+        *governor* is an optional
+        :class:`~repro.engine.governor.ResourceGovernor` whose deadline the
+        search respects *gracefully*: on expiry, exhaustive/DP body
+        ordering degrades to ``config.deadline_fallback`` and the
+        c-permutation enumeration is truncated, with a diagnostic recorded
+        on the returned plan.  When None and ``config.deadline_seconds``
+        is set, a deadline-only governor is built internally.
         """
+        from ..engine.governor import make_governor
+
+        if governor is None and self.config.deadline_seconds is not None:
+            governor = make_governor(
+                deadline_seconds=self.config.deadline_seconds,
+                max_tuples=None,
+                max_iterations=None,
+            )
+        self._governor = governor
+        if governor is not None:
+            governor.arm()
+        try:
+            return self._optimize(query)
+        finally:
+            self._governor = None
+
+    def _optimize(self, query: QueryForm) -> OptimizedQuery:
         self._diagnostics = []
         ref = pred_ref(query.goal)
         if (
@@ -247,6 +285,19 @@ class Optimizer:
         joinable, __ = split_joinable(body)
         config = self.config
         if (
+            config.strategy in ("exhaustive", "dp")
+            and self._governor is not None
+            and self._governor.deadline_exceeded()
+        ):
+            # Graceful degradation: the expensive search ran out of time,
+            # so remaining bodies are ordered by the cheap fallback.
+            self.counters["deadline_downgrades"] += 1
+            self._diagnostics.append(
+                f"optimizer deadline exceeded: downgraded {config.strategy} "
+                f"to {config.deadline_fallback} for a {len(joinable)}-literal body"
+            )
+            return config.deadline_fallback
+        if (
             config.large_body_strategy is not None
             and config.strategy in ("exhaustive", "dp")
             and len(joinable) > config.large_body_threshold
@@ -260,6 +311,10 @@ class Optimizer:
         initially_bound: frozenset,
         estimator: BodyEstimator,
     ) -> OrderResult:
+        if self._governor is not None:
+            # Never raises on the deadline: the optimizer degrades instead
+            # of aborting.  Fault plans can still target optimizer:order.
+            self._governor.soft_checkpoint("optimizer:order")
         strategy = self._strategy_for(body)
         if strategy == "exhaustive":
             result = exhaustive_order(body, initially_bound, estimator)
@@ -475,7 +530,22 @@ class Optimizer:
         ]
         if binding.bound_count > 0 and bound_methods:
             seen_adorned: set[str] = set()
+            governor = self._governor
+            candidates = 0
             for cperm in self._cpermutations(clique, ref, binding):
+                if governor is not None:
+                    governor.soft_checkpoint("optimizer:cperm")
+                    # Always cost at least the greedy-SIP candidate so an
+                    # expired deadline still yields a bound-method plan.
+                    if candidates >= 1 and governor.deadline_exceeded():
+                        self.counters["deadline_downgrades"] += 1
+                        self._diagnostics.append(
+                            f"optimizer deadline exceeded: c-permutation "
+                            f"search for {ref}{binding} truncated after "
+                            f"{candidates} candidates"
+                        )
+                        break
+                candidates += 1
                 self.counters["cpermutations"] += 1
                 adorned = adorn_clique(
                     clique, ref, binding, cperm,

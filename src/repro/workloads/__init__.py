@@ -10,17 +10,26 @@ from .datasets import (
     same_generation_instance,
 )
 from .paper_rulebase import PAPER_RULEBASE, paper_database, paper_program
-from .querygen import SHAPES, ConjunctiveWorkload, generate_batch, generate_conjunctive
+from .querygen import (
+    RUNAWAY_KINDS,
+    SHAPES,
+    ConjunctiveWorkload,
+    generate_batch,
+    generate_conjunctive,
+    generate_runaway_program,
+)
 
 __all__ = [
     "ConjunctiveWorkload",
     "PAPER_RULEBASE",
+    "RUNAWAY_KINDS",
     "SHAPES",
     "balanced_tree",
     "bill_of_materials",
     "chain",
     "generate_batch",
     "generate_conjunctive",
+    "generate_runaway_program",
     "paper_database",
     "paper_program",
     "random_dag",

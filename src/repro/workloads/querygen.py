@@ -148,6 +148,58 @@ def generate_random_program(
     return "\n".join(lines), facts, "top($X, Y)?"
 
 
+RUNAWAY_KINDS = ("counter", "blowup", "chain")
+
+
+def generate_runaway_program(
+    kind: str = "counter",
+    seed: int = 0,
+    fanout: int = 20,
+    depth: int = 64,
+):
+    """An unsafe-ish program + data for governor stress tests.
+
+    These are programs the static safety analysis cannot (or is not asked
+    to) reject, whose evaluation grows until a resource budget stops it —
+    the :class:`~repro.engine.governor.ResourceGovernor`'s test diet:
+
+    * ``counter`` — value invention: ``n(X+1) <- n(X), X < depth`` counts
+      upward; tuple production is linear in ``depth`` but unbounded as
+      ``depth`` grows, so a tuple budget below ``depth`` must trip
+      *during* the fixpoint.
+    * ``blowup`` — an explosive join: ``pair(X, Y) <- item(X), item(Y)``
+      over ``fanout`` items produces ``fanout**2`` tuples inside a
+      *single* round — the case that exposes guards which only check
+      between rounds.
+    * ``chain`` — deep linear recursion over a ``depth``-long path:
+      cheap per round, ``O(depth**2)`` pairs overall, many rounds — the
+      iteration-budget case.
+
+    Returns ``(rules_text, facts, query)`` like
+    :func:`generate_random_program`.  *seed* shuffles fact insertion
+    order (the results are order-independent; the governor's abort point
+    need not be).
+    """
+    rng = random.Random(seed)
+    if kind == "counter":
+        rules = f"n(Y) <- n(X), X < {depth}, Y = X + 1."
+        facts = {"seed_n": [(0,)]}
+        # n/1 needs a base case: seed via an exit rule over a base relation
+        rules = f"n(X) <- seed_n(X).\n{rules}"
+        return rules, facts, "n(X)?"
+    if kind == "blowup":
+        items = [(f"i{i}",) for i in range(fanout)]
+        rng.shuffle(items)
+        rules = "pair(X, Y) <- item(X), item(Y).\npairs(X, Y) <- pair(X, Y)."
+        return rules, {"item": items}, "pairs(X, Y)?"
+    if kind == "chain":
+        edges = [(f"v{i}", f"v{i + 1}") for i in range(depth)]
+        rng.shuffle(edges)
+        rules = "reach(X, Y) <- edge(X, Y).\nreach(X, Y) <- reach(X, Z), edge(Z, Y)."
+        return rules, {"edge": edges}, "reach(X, Y)?"
+    raise ValueError(f"unknown runaway kind {kind!r}; expected one of {RUNAWAY_KINDS}")
+
+
 def generate_batch(
     count: int,
     n: int,

@@ -15,6 +15,7 @@ MODULES = [
     "repro.datalog.bindings",
     "repro.datalog.parser",
     "repro.datalog.rewrite",
+    "repro.engine.faults",
     "repro.storage.relation",
 ]
 
