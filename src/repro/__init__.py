@@ -42,6 +42,15 @@ from .errors import (
     UnsafeQueryError,
 )
 from .kb import KnowledgeBase
+from .obs import (
+    NULL_TRACER,
+    JsonlSink,
+    MetricsRegistry,
+    NullTracer,
+    Span,
+    Tracer,
+    TraceSinkWarning,
+)
 from .optimizer.optimizer import OptimizedQuery, Optimizer, OptimizerConfig
 
 __version__ = "1.0.0"
@@ -53,9 +62,13 @@ __all__ = [
     "FaultInjector",
     "InjectedFault",
     "IterationBudgetExceeded",
+    "JsonlSink",
     "KnowledgeBase",
     "KnowledgeBaseError",
     "MemoryBudgetExceeded",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
     "OptimizationError",
     "OptimizedQuery",
     "Optimizer",
@@ -66,6 +79,9 @@ __all__ = [
     "ResourceExhausted",
     "ResourceGovernor",
     "SchemaError",
+    "Span",
+    "TraceSinkWarning",
+    "Tracer",
     "TupleBudgetExceeded",
     "UnsafeQueryError",
     "__version__",

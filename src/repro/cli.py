@@ -34,6 +34,7 @@ from typing import IO, Sequence
 from . import KnowledgeBase, OptimizerConfig
 from .engine.governor import make_governor
 from .errors import ParseError, ReproError, ResourceExhausted, UnsafeQueryError
+from .obs import NULL_TRACER, JsonlSink, Tracer
 from .plans.serialize import plan_to_json
 
 #: Exit codes (documented in docs/api.md): scripts can tell *why* a query
@@ -83,8 +84,18 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="NAME=VALUE", help="value for a $-bound query variable")
     parser.add_argument("--explain", action="store_true",
                         help="print the optimized plan instead of answers")
+    parser.add_argument("--analyze", action="store_true",
+                        help="EXPLAIN ANALYZE: run the query, print the plan "
+                             "annotated est/act/q-error per node")
     parser.add_argument("--json", action="store_true",
                         help="print the plan as JSON instead of answers")
+    parser.add_argument("--trace", type=Path, default=None, metavar="FILE",
+                        help="write the span trace as JSONL events to FILE "
+                             "(schema repro.trace/1; validate with "
+                             "python -m repro.obs.validate)")
+    parser.add_argument("--metrics", type=Path, default=None, metavar="FILE",
+                        help="write aggregated metrics to FILE on exit "
+                             "(.json -> JSON, anything else -> Prometheus text)")
     parser.add_argument("--strategy", default="dp",
                         choices=("exhaustive", "dp", "kbz", "annealing", "textual"),
                         help="join-ordering strategy (default: dp)")
@@ -118,15 +129,21 @@ def load_files(kb: KnowledgeBase, files: Sequence[Path], out: IO[str]) -> None:
               f"{sum(len(kb.db.relation(n)) for n in kb.db.names)} facts total", file=out)
 
 
-def run_query(kb: KnowledgeBase, query: str, bindings: dict, args, out: IO[str]) -> None:
+def run_query(
+    kb: KnowledgeBase, query: str, bindings: dict, args, out: IO[str],
+    tracer=NULL_TRACER,
+) -> None:
     if args.explain:
         print(kb.explain(query), file=out)
         return
     if args.json:
         print(plan_to_json(kb.compile(query).plan), file=out)
         return
+    if getattr(args, "analyze", False):
+        print(kb.analyze(query, tracer=tracer, **bindings), file=out)
+        return
     governor = _query_governor(args)
-    answers = kb.ask(query, governor=governor, **bindings)
+    answers = kb.ask(query, governor=governor, tracer=tracer, **bindings)
     if not answers.variables:
         print("true." if len(answers) else "false.", file=out)
         return
@@ -136,7 +153,7 @@ def run_query(kb: KnowledgeBase, query: str, bindings: dict, args, out: IO[str])
         print("  " + ", ".join(repr(v) if isinstance(v, str) else str(v) for v in row), file=out)
 
 
-def repl(kb: KnowledgeBase, args, stdin: IO[str], out: IO[str]) -> None:
+def repl(kb: KnowledgeBase, args, stdin: IO[str], out: IO[str], tracer=NULL_TRACER) -> None:
     print("ldl> ", end="", file=out, flush=True)
     buffer = ""
     for line in stdin:
@@ -161,13 +178,13 @@ def repl(kb: KnowledgeBase, args, stdin: IO[str], out: IO[str]) -> None:
                 print(kb.explain(stripped[len(":explain "):].strip()), file=out)
                 handled = True
             elif stripped.startswith(":analyze "):
-                print(kb.analyze(stripped[len(":analyze "):].strip()), file=out)
+                print(kb.analyze(stripped[len(":analyze "):].strip(), tracer=tracer), file=out)
                 handled = True
             elif stripped.startswith(":json "):
                 print(plan_to_json(kb.compile(stripped[len(":json "):].strip()).plan), file=out)
                 handled = True
             elif stripped.endswith("?"):
-                run_query(kb, stripped, {}, args, out)
+                run_query(kb, stripped, {}, args, out, tracer=tracer)
                 handled = True
             elif stripped.endswith("."):
                 added = kb.rules(stripped)
@@ -195,19 +212,31 @@ def main(argv: Sequence[str] | None = None, stdin: IO[str] | None = None, stdout
         print(f"error: {err}", file=out)
         return _exit_code_for(err)
 
+    tracer = NULL_TRACER
+    if args.trace is not None:
+        tracer = Tracer(sink=JsonlSink(args.trace))
+
     bindings = dict(args.bind)
     status = EXIT_OK
-    for query in args.query:
-        try:
-            run_query(kb, query, bindings, args, out)
-        except ReproError as err:
-            print(f"error: {err}", file=out)
-            if status == EXIT_OK:
-                # first failure wins: one bad query must not be masked
-                # by a later, differently-failing one
-                status = _exit_code_for(err)
-    if args.interactive:
-        repl(kb, args, stdin or sys.stdin, out)
+    try:
+        for query in args.query:
+            try:
+                run_query(kb, query, bindings, args, out, tracer=tracer)
+            except ReproError as err:
+                print(f"error: {err}", file=out)
+                if status == EXIT_OK:
+                    # first failure wins: one bad query must not be masked
+                    # by a later, differently-failing one
+                    status = _exit_code_for(err)
+        if args.interactive:
+            repl(kb, args, stdin or sys.stdin, out, tracer=tracer)
+    finally:
+        tracer.close()
+        if args.metrics is not None:
+            if args.metrics.suffix == ".json":
+                args.metrics.write_text(kb.metrics.to_json() + "\n")
+            else:
+                args.metrics.write_text(kb.metrics.to_prometheus_text())
     return status
 
 

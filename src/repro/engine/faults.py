@@ -22,7 +22,11 @@ A rule matches a site by :func:`fnmatch.fnmatchcase` pattern, waits for
   is how deadline paths are tested without sleeping;
 * request cooperative cancellation (``cancel=True``);
 * force a budget's abort path (``exhaust="tuples" | "memory" |
-  "deadline" | "iterations"``) regardless of the actual counters.
+  "deadline" | "iterations"``) regardless of the actual counters;
+* break the trace sink (``trace_drop=True``) — the next span-close
+  export raises inside the tracer, which must degrade to a
+  :class:`~repro.obs.tracer.TraceSinkWarning` and never fail the query
+  (``tests/test_tracing.py`` pins this).
 
 Rule matching is purely count-based, so a fault plan is reproducible
 run-to-run on the same program and data.
@@ -62,6 +66,7 @@ class FaultRule:
     advance_clock: float = 0.0
     cancel: bool = False
     exhaust: str | None = None
+    trace_drop: bool = False
     hits: int = 0
     fired: int = 0
 
@@ -86,18 +91,21 @@ class FaultInjector:
         advance_clock: float = 0.0,
         cancel: bool = False,
         exhaust: str | None = None,
+        trace_drop: bool = False,
     ) -> "FaultInjector":
         """Add one rule; returns self so plans read as a chain.
 
         *error* may be an exception instance or a message string (wrapped
-        in :class:`InjectedFault`).  Exactly one action fires per rule,
-        checked in order: clock skew, cancel, exhaust, error — so a rule
-        combining ``advance_clock`` with ``error`` skews first, raises
-        second.
+        in :class:`InjectedFault`).  Actions fire in order: clock skew,
+        cancel, exhaust, trace drop, error — so a rule combining
+        ``advance_clock`` with ``error`` skews first, raises second.
         """
         if isinstance(error, str):
             error = InjectedFault(error)
-        if error is None and not advance_clock and not cancel and exhaust is None:
+        if (
+            error is None and not advance_clock and not cancel
+            and exhaust is None and not trace_drop
+        ):
             error = InjectedFault(f"injected fault at {site!r}")
         self.rules.append(
             FaultRule(
@@ -108,6 +116,7 @@ class FaultInjector:
                 advance_clock=advance_clock,
                 cancel=cancel,
                 exhaust=exhaust,
+                trace_drop=trace_drop,
             )
         )
         return self
@@ -130,6 +139,9 @@ class FaultInjector:
             if rule.exhaust is not None:
                 self.log.append(f"{site}:exhaust={rule.exhaust}")
                 governor.exhaust(rule.exhaust)
+            if rule.trace_drop and governor.tracer is not None:
+                self.log.append(f"{site}:trace_drop")
+                governor.tracer.inject_sink_failure()
             if rule.error is not None:
                 self.log.append(f"{site}:error")
                 raise rule.error

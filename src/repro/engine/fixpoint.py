@@ -37,6 +37,7 @@ from ..datalog.literals import Literal, PredicateRef, pred_ref
 from ..datalog.rules import Program, Rule
 from ..datalog.safety import exists_safe_order
 from ..errors import ExecutionError
+from ..obs.tracer import NULL_TRACER
 from ..storage.catalog import Database
 from ..storage.relation import DerivedRelation
 from .governor import ResourceGovernor, make_governor
@@ -120,6 +121,8 @@ class FixpointEngine:
         builtins: "BuiltinRegistry | None" = None,
         compile: bool = True,
         governor: "ResourceGovernor | None | bool" = None,
+        tracer=NULL_TRACER,
+        metrics=None,
     ):
         from ..datalog.builtins import builtin_oracle
 
@@ -139,13 +142,22 @@ class FixpointEngine:
                 max_iterations=max_iterations,
                 profiler=self.profiler,
             )
+        self.tracer = tracer
+        self.metrics = metrics
+        if self.governor is not None:
+            # Let budget aborts name the open spans, and denials count.
+            if tracer.enabled and self.governor.tracer is None:
+                self.governor.tracer = tracer
+            if metrics is not None and self.governor.metrics is None:
+                self.governor.metrics = metrics
         self.method_chooser = method_chooser or _default_method
         self.reorder_bodies = reorder_bodies
         self.builtins = builtins
         self._oracle = builtin_oracle(builtins)
         self.compile = compile
         self._kernels = KernelCache(
-            reorder=reorder_bodies, oracle=self._oracle, builtins=builtins
+            reorder=reorder_bodies, oracle=self._oracle, builtins=builtins,
+            metrics=metrics,
         )
 
     # -- extensions ----------------------------------------------------------
@@ -191,40 +203,60 @@ class FixpointEngine:
         derived: frozenset[PredicateRef],
         delta_literal: int | None = None,
         delta_rows: Iterable[Row] | None = None,
+        head_name: str = "",
     ) -> BindingsTable:
         table = BindingsTable.unit()
         governor = self.governor
+        tracer = self.tracer
+        # Span names below must match the labels CompiledRule bakes at
+        # compile time (f"{kind}:{head}:{pred}") so the span tree is
+        # identical whether rules run compiled or interpreted.
         for position, literal in enumerate(body):
             if not table.rows:
                 return table
             if literal.is_comparison:
-                table = apply_comparison(table, literal, self.profiler, governor=governor)
+                with tracer.span(
+                    f"compare:{head_name}:{literal.predicate}", kind="operator"
+                ):
+                    table = apply_comparison(
+                        table, literal, self.profiler, governor=governor
+                    )
                 continue
             if literal.negated:
-                extension = self._extension(literal.positive(), workspace, derived)
-                rows = extension.rows if hasattr(extension, "rows") else extension
-                table = negation_filter(
-                    table, literal.positive(), rows, self.profiler, governor=governor
-                )
+                with tracer.span(
+                    f"negation:{head_name}:{literal.predicate}", kind="operator"
+                ):
+                    extension = self._extension(literal.positive(), workspace, derived)
+                    rows = extension.rows if hasattr(extension, "rows") else extension
+                    table = negation_filter(
+                        table, literal.positive(), rows, self.profiler, governor=governor
+                    )
                 continue
             if self.builtins is not None and literal.predicate in self.builtins:
                 builtin = self.builtins.get(literal.predicate)
                 if builtin is not None and builtin.arity == literal.arity:
                     from .operators import builtin_join
 
-                    table = builtin_join(
-                        table, literal, builtin, self.profiler, governor=governor
-                    )
+                    with tracer.span(
+                        f"builtin:{head_name}:{literal.predicate}", kind="operator"
+                    ):
+                        table = builtin_join(
+                            table, literal, builtin, self.profiler, governor=governor
+                        )
                     continue
-            if position == delta_literal and delta_rows is not None:
-                extension = delta_rows
-                method = "hash"
-            else:
-                extension = self._extension(literal, workspace, derived)
-                method = self.method_chooser(literal)
-            table = scan_join(
-                table, literal, extension, method, self.profiler, governor=governor
-            )
+            with tracer.span(
+                f"join:{head_name}:{literal.predicate}", kind="operator"
+            ) as span:
+                if position == delta_literal and delta_rows is not None:
+                    extension = delta_rows
+                    method = "hash"
+                else:
+                    extension = self._extension(literal, workspace, derived)
+                    method = self.method_chooser(literal)
+                span.note(method=method)
+                table = scan_join(
+                    table, literal, extension, method, self.profiler, governor=governor
+                )
         return table
 
     def _eval_rule(
@@ -235,33 +267,41 @@ class FixpointEngine:
         delta_literal: int | None = None,
         delta_rows: Iterable[Row] | None = None,
     ) -> set[Row]:
-        if self.compile:
-            compiled = self._kernels.get(rule)
-            return compiled.execute(
-                lambda literal: self._extension(literal, workspace, derived),
-                self.method_chooser,
-                self.profiler,
-                delta_position=(
-                    compiled.delta_position(delta_literal)
-                    if delta_literal is not None
-                    else None
-                ),
-                delta_rows=delta_rows,
-                governor=self.governor,
+        with self.tracer.span(f"rule:{rule.head.predicate}", kind="rule") as span:
+            span.note(compiled=self.compile, delta=delta_literal is not None)
+            if self.compile:
+                compiled = self._kernels.get(rule)
+                return compiled.execute(
+                    lambda literal: self._extension(literal, workspace, derived),
+                    self.method_chooser,
+                    self.profiler,
+                    delta_position=(
+                        compiled.delta_position(delta_literal)
+                        if delta_literal is not None
+                        else None
+                    ),
+                    delta_rows=delta_rows,
+                    governor=self.governor,
+                    tracer=self.tracer,
+                )
+            body = self._ordered_body(rule)
+            if delta_literal is not None:
+                # Map the delta position from original body order to the
+                # reordered body.
+                target = rule.body[delta_literal]
+                positions = [i for i, l in enumerate(body) if l is target]
+                delta_position = positions[0] if positions else delta_literal
+            else:
+                delta_position = None
+            table = self._eval_body(
+                body, workspace, derived, delta_position, delta_rows,
+                head_name=rule.head.predicate,
             )
-        body = self._ordered_body(rule)
-        if delta_literal is not None:
-            # Map the delta position from original body order to the
-            # reordered body.
-            target = rule.body[delta_literal]
-            positions = [i for i, l in enumerate(body) if l is target]
-            delta_position = positions[0] if positions else delta_literal
-        else:
-            delta_position = None
-        table = self._eval_body(body, workspace, derived, delta_position, delta_rows)
-        if rule.is_aggregate:
-            return aggregate_rows(table, rule.head, self.profiler, governor=self.governor)
-        return head_rows(table, rule.head, self.profiler, governor=self.governor)
+            if rule.is_aggregate:
+                return aggregate_rows(
+                    table, rule.head, self.profiler, governor=self.governor
+                )
+            return head_rows(table, rule.head, self.profiler, governor=self.governor)
 
     # -- the fixpoint ------------------------------------------------------------
 
@@ -283,6 +323,7 @@ class FixpointEngine:
         governor = self.governor
         if governor is not None:
             governor.arm()
+        self.tracer.attach(self.profiler)
 
         # Compiled evaluation stores derived extensions as index-maintaining
         # relations so join kernels keep persistent buckets across rounds.
@@ -313,11 +354,18 @@ class FixpointEngine:
                     if governor is not None:
                         governor.settle(self._live_tuples(workspace))
                 continue
-            iterations = (
-                self._naive_clique(component_rules, component, workspace, derived)
-                if naive
-                else self._seminaive_clique(component_rules, component, workspace, derived)
-            )
+            clique = "+".join(sorted(ref.name for ref in component))
+            with self.tracer.span(f"fixpoint:clique:{clique}", kind="fixpoint") as span:
+                iterations = (
+                    self._naive_clique(component_rules, component, workspace, derived)
+                    if naive
+                    else self._seminaive_clique(
+                        component_rules, component, workspace, derived
+                    )
+                )
+                span.note(rounds=iterations, naive=naive)
+            if self.metrics is not None:
+                self.metrics.observe("fixpoint_rounds", iterations)
             total_iterations += iterations
 
         self.profiler.bump_iterations(total_iterations)
@@ -365,46 +413,51 @@ class FixpointEngine:
         names = {ref.name for ref in component}
         delta: dict[str, set[Row]] = {name: set() for name in names}
         governor = self.governor
+        tracer = self.tracer
 
         # Round 0: all rules against the current workspace (exit rules fire;
         # seeds participate).
-        for rule in rules:
-            store = workspace[rule.head.predicate]
-            for row in self._eval_rule(rule, workspace, derived):
-                if self._store_add(store, row):
-                    delta[rule.head.predicate].add(row)
-            if governor is not None:
-                governor.settle(self._live_tuples(workspace))
-        self._check_guards(workspace)
+        with tracer.span("fixpoint:round:0", kind="round"):
+            for rule in rules:
+                store = workspace[rule.head.predicate]
+                for row in self._eval_rule(rule, workspace, derived):
+                    if self._store_add(store, row):
+                        delta[rule.head.predicate].add(row)
+                if governor is not None:
+                    governor.settle(self._live_tuples(workspace))
+            self._check_guards(workspace)
 
         iterations = 1
         while any(delta.values()):
-            new_delta: dict[str, set[Row]] = {name: set() for name in names}
-            for rule in rules:
-                clique_positions = [
-                    i
-                    for i, literal in enumerate(rule.body)
-                    if not literal.is_comparison
-                    and not literal.negated
-                    and literal.predicate in names
-                ]
-                for position in clique_positions:
-                    delta_rows = delta.get(rule.body[position].predicate, set())
-                    if not delta_rows:
-                        continue
-                    rows = self._eval_rule(rule, workspace, derived, position, delta_rows)
-                    head_name = rule.head.predicate
-                    store = workspace[head_name]
-                    for row in rows:
-                        if self._store_add(store, row):
-                            new_delta[head_name].add(row)
-                    if governor is not None:
-                        governor.settle(self._live_tuples(workspace))
-            delta = new_delta
-            iterations += 1
-            # Checked *after* the round so the final round's production is
-            # still guarded (the old guard skipped it).
-            self._check_guards(workspace)
+            with tracer.span(f"fixpoint:round:{iterations}", kind="round"):
+                new_delta: dict[str, set[Row]] = {name: set() for name in names}
+                for rule in rules:
+                    clique_positions = [
+                        i
+                        for i, literal in enumerate(rule.body)
+                        if not literal.is_comparison
+                        and not literal.negated
+                        and literal.predicate in names
+                    ]
+                    for position in clique_positions:
+                        delta_rows = delta.get(rule.body[position].predicate, set())
+                        if not delta_rows:
+                            continue
+                        rows = self._eval_rule(
+                            rule, workspace, derived, position, delta_rows
+                        )
+                        head_name = rule.head.predicate
+                        store = workspace[head_name]
+                        for row in rows:
+                            if self._store_add(store, row):
+                                new_delta[head_name].add(row)
+                        if governor is not None:
+                            governor.settle(self._live_tuples(workspace))
+                delta = new_delta
+                iterations += 1
+                # Checked *after* the round so the final round's production
+                # is still guarded (the old guard skipped it).
+                self._check_guards(workspace)
         return iterations
 
     def _naive_clique(
@@ -418,18 +471,19 @@ class FixpointEngine:
         iterations = 0
         changed = True
         while changed:
-            iterations += 1
-            changed = False
-            for rule in rules:
-                rows = self._eval_rule(rule, workspace, derived)
-                head_name = rule.head.predicate
-                before = len(workspace[head_name])
-                workspace[head_name].update(rows)
-                if len(workspace[head_name]) != before:
-                    changed = True
-                if governor is not None:
-                    governor.settle(self._live_tuples(workspace))
-            self._check_guards(workspace)
+            with self.tracer.span(f"fixpoint:round:{iterations}", kind="round"):
+                iterations += 1
+                changed = False
+                for rule in rules:
+                    rows = self._eval_rule(rule, workspace, derived)
+                    head_name = rule.head.predicate
+                    before = len(workspace[head_name])
+                    workspace[head_name].update(rows)
+                    if len(workspace[head_name]) != before:
+                        changed = True
+                    if governor is not None:
+                        governor.settle(self._live_tuples(workspace))
+                self._check_guards(workspace)
         return iterations
 
 

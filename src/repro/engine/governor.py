@@ -95,6 +95,8 @@ class ResourceGovernor:
         "clock",
         "faults",
         "profiler",
+        "tracer",
+        "metrics",
         "_armed",
         "_started_at",
         "_skew",
@@ -117,6 +119,8 @@ class ResourceGovernor:
         clock: Clock = time.monotonic,
         faults=None,
         profiler=None,
+        tracer=None,
+        metrics=None,
     ):
         self.deadline_seconds = deadline_seconds
         self.max_tuples = max_tuples
@@ -127,6 +131,8 @@ class ResourceGovernor:
         self.clock = clock
         self.faults = faults
         self.profiler = profiler
+        self.tracer = tracer
+        self.metrics = metrics
         self._armed = False
         self._started_at = 0.0
         self._skew = 0.0
@@ -144,6 +150,8 @@ class ResourceGovernor:
         if not self._armed:
             self._armed = True
             self._started_at = self.clock()
+            if self.metrics is not None:
+                self.metrics.inc("governor_grants_total")
         return self
 
     def now(self) -> float:
@@ -356,7 +364,10 @@ class ResourceGovernor:
 
     def _raise(self, cls, message: str) -> None:
         snapshot = self.profiler.snapshot() if self.profiler is not None else {}
-        raise cls(message, snapshot=snapshot, partial=self._partial())
+        spans = self.tracer.open_stack() if self.tracer is not None else ()
+        if self.metrics is not None:
+            self.metrics.inc("governor_denials_total", kind=cls.kind)
+        raise cls(message, snapshot=snapshot, partial=self._partial(), spans=spans)
 
     def _raise_tuples(self, live: int) -> None:
         self._raise(

@@ -32,6 +32,7 @@ from ..datalog.literals import Literal
 from ..datalog.terms import Constant, Term, Variable, term_from_python
 from ..datalog.unify import Substitution, apply, match
 from ..errors import ExecutionError
+from ..obs.tracer import NULL_TRACER
 from ..plans.nodes import FixpointNode, JoinNode, UnionNode
 from ..storage.catalog import Database
 from .fixpoint import FixpointEngine
@@ -100,6 +101,8 @@ class Interpreter:
         deadline_seconds: float | None = None,
         max_memory_bytes: int | None = None,
         governor: "ResourceGovernor | None | bool" = None,
+        tracer=NULL_TRACER,
+        metrics=None,
     ):
         self.db = db
         self.profiler = profiler or Profiler()
@@ -120,6 +123,13 @@ class Interpreter:
                 max_iterations=max_iterations,
                 profiler=self.profiler,
             )
+        self.tracer = tracer
+        self.metrics = metrics
+        if self.governor is not None:
+            if tracer.enabled and self.governor.tracer is None:
+                self.governor.tracer = tracer
+            if metrics is not None and self.governor.metrics is None:
+                self.governor.metrics = metrics
         self.builtins = builtins
         #: Lower fixpoint rules into execution kernels (False = the
         #: uncompiled reference path, kept for A/B measurement).
@@ -149,8 +159,14 @@ class Interpreter:
 
         if self.governor is not None:
             self.governor.arm()
+        self.tracer.attach(self.profiler)
         wrapper = plan_root.children[0]
-        final = self._run_steps(wrapper, table)
+        with self.tracer.span(f"execute:{query.predicate}", kind="phase"):
+            final = self._run_steps(wrapper, table)
+        # The synthetic __query__ wrapper never goes through execute(),
+        # so record its stats here: EXPLAIN ANALYZE annotates every node.
+        self._record(wrapper, len(final.rows))
+        self._record(plan_root, len(final.rows))
         out_vars = query.output_vars
         projected = final.project(out_vars) if out_vars else final.project(())
         if not out_vars:
@@ -167,10 +183,14 @@ class Interpreter:
         if hit is not None:
             self._record(node, len(hit), cached=True)
             return hit
-        if isinstance(node, UnionNode):
-            result = self._execute_union(node, keys)
-        else:
-            result = self._execute_fixpoint(node, keys)
+        tag = "or" if isinstance(node, UnionNode) else "cc"
+        with self.tracer.span(f"{tag}:{node.ref.name}", kind="node") as span:
+            if isinstance(node, UnionNode):
+                result = self._execute_union(node, keys)
+            else:
+                span.note(method=node.method)
+                result = self._execute_fixpoint(node, keys)
+            span.note(rows=len(result))
         self._cache[cache_key] = result
         if self.governor is not None:
             # Cached extensions stay live for the rest of the query, so
@@ -192,7 +212,10 @@ class Interpreter:
     def _execute_union(self, node: UnionNode, keys: Keys) -> frozenset[Row]:
         out: set[Row] = set()
         for child in node.children:
-            out |= self._execute_join(child, keys)
+            with self.tracer.span(f"and:{child.rule.head.predicate}", kind="node"):
+                rows = self._execute_join(child, keys)
+            self._record(child, len(rows))
+            out |= rows
         return frozenset(out)
 
     def _execute_join(self, node: JoinNode, keys: Keys) -> frozenset[Row]:
@@ -224,10 +247,17 @@ class Interpreter:
 
     def _run_steps(self, node: JoinNode, table: BindingsTable) -> BindingsTable:
         governor = self.governor
+        tracer = self.tracer
+        head_name = node.rule.head.predicate
         for step in node.steps:
             if not table.rows:
                 return table
-            table = self._apply_step(step, table)
+            with tracer.span(
+                f"{_step_kind(step)}:{head_name}:{step.literal.predicate}",
+                kind="operator",
+            ) as span:
+                span.note(method=step.method)
+                table = self._apply_step(step, table)
             if governor is not None:
                 governor.settle(len(table.rows))
             stats = self.node_stats.setdefault(
@@ -300,6 +330,8 @@ class Interpreter:
             # interpreter keeps its fixpoints ungoverned too (rather than
             # letting FixpointEngine build its own default).
             governor=self.governor if self.governor is not None else False,
+            tracer=self.tracer,
+            metrics=self.metrics,
         )
 
     def _execute_fixpoint(self, node: FixpointNode, keys: Keys) -> frozenset[Row]:
@@ -357,6 +389,18 @@ class Interpreter:
             return frozenset(out)
 
         raise ExecutionError(f"unknown recursive method {node.method!r}")
+
+
+def _step_kind(step) -> str:
+    """Span-name prefix for a JoinStep — mirrors the kernel label kinds."""
+    literal = step.literal
+    if literal.is_comparison:
+        return "compare"
+    if literal.negated:
+        return "negation"
+    if step.method == "builtin":
+        return "builtin"
+    return "join"
 
 
 def _pattern_vars(term: Term) -> list[Variable]:

@@ -42,6 +42,7 @@ from ..datalog.literals import Literal
 from ..datalog.rules import Rule
 from ..datalog.terms import Term, Variable, is_ground, variables_of
 from ..errors import ExecutionError
+from ..obs.tracer import NULL_TRACER
 from .operators import (
     BindingsTable,
     Row,
@@ -189,6 +190,7 @@ class CompiledRule:
         delta_position: int | None = None,
         delta_rows: Iterable[Row] | None = None,
         governor=None,
+        tracer=NULL_TRACER,
     ) -> set[Row]:
         """Evaluate the body and instantiate the head — the compiled twin
         of ``FixpointEngine._eval_rule``."""
@@ -198,28 +200,31 @@ class CompiledRule:
             if not table.rows:
                 return set()
             label = self.labels[position]
-            if governor is not None:
-                governor.checkpoint(label)
-            start = time.perf_counter()
-            if isinstance(step, JoinKernel):
-                if position == delta_position and delta_rows is not None:
-                    table = execute_join_kernel(
-                        step, table, delta_rows, "hash", profiler, governor
-                    )
-                else:
+            # The span opens before the checkpoint so a budget abort's
+            # open-span stack names the operator that was running.
+            with tracer.span(label, kind="operator"):
+                if governor is not None:
+                    governor.checkpoint(label)
+                start = time.perf_counter()
+                if isinstance(step, JoinKernel):
+                    if position == delta_position and delta_rows is not None:
+                        table = execute_join_kernel(
+                            step, table, delta_rows, "hash", profiler, governor
+                        )
+                    else:
+                        extension = extension_of(step.literal)
+                        table = execute_join_kernel(
+                            step, table, extension, method_of(step.literal), profiler, governor
+                        )
+                elif isinstance(step, ComparisonKernel):
+                    table = apply_comparison(table, step.literal, profiler, governor)
+                elif isinstance(step, NegationKernel):
                     extension = extension_of(step.literal)
-                    table = execute_join_kernel(
-                        step, table, extension, method_of(step.literal), profiler, governor
-                    )
-            elif isinstance(step, ComparisonKernel):
-                table = apply_comparison(table, step.literal, profiler, governor)
-            elif isinstance(step, NegationKernel):
-                extension = extension_of(step.literal)
-                rows = extension.rows if hasattr(extension, "rows") else extension
-                table = negation_filter(table, step.literal, rows, profiler, governor)
-            else:
-                table = builtin_join(table, step.literal, step.builtin, profiler, governor)
-            profiler.add_time(label, time.perf_counter() - start)
+                    rows = extension.rows if hasattr(extension, "rows") else extension
+                    table = negation_filter(table, step.literal, rows, profiler, governor)
+                else:
+                    table = builtin_join(table, step.literal, step.builtin, profiler, governor)
+                profiler.add_time(label, time.perf_counter() - start)
         if self.rule.is_aggregate:
             return aggregate_rows(table, head, profiler, governor)
         if self.head_kernel is not None and table.schema == self.out_schema:
@@ -451,10 +456,11 @@ def _compile_head(rule: Rule, schema: tuple[Variable, ...]) -> HeadKernel | None
 class KernelCache:
     """Per-engine cache of compiled rules, keyed by rule identity."""
 
-    def __init__(self, reorder: bool = True, oracle=None, builtins=None):
+    def __init__(self, reorder: bool = True, oracle=None, builtins=None, metrics=None):
         self.reorder = reorder
         self.oracle = oracle
         self.builtins = builtins
+        self.metrics = metrics
         self._compiled: dict[int, CompiledRule] = {}
 
     def get(self, rule: Rule) -> CompiledRule:
@@ -464,6 +470,8 @@ class KernelCache:
                 rule, reorder=self.reorder, oracle=self.oracle, builtins=self.builtins
             )
             self._compiled[id(rule)] = compiled
+            if self.metrics is not None:
+                self.metrics.inc("kernel_compiles_total")
         return compiled
 
     def __len__(self) -> int:

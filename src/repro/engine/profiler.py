@@ -79,7 +79,14 @@ class Profiler:
         """The single-number measured cost: tuples touched end to end."""
         return self.examined + self.produced + self.materialized
 
-    def snapshot(self) -> dict[str, int]:
+    def snapshot(self) -> dict:
+        """Every counter, the per-label work breakdown, and wall time.
+
+        This dict is what :class:`~repro.errors.ResourceExhausted`
+        carries at abort time, so ``by_label`` and ``wall_seconds`` must
+        be included — dropping them loses the per-operator breakdown the
+        docs promise.
+        """
         return {
             "examined": self.examined,
             "produced": self.produced,
@@ -87,6 +94,8 @@ class Profiler:
             "materialized": self.materialized,
             "iterations": self.iterations,
             "total_work": self.total_work,
+            "wall_seconds": self.wall_seconds,
+            "by_label": dict(sorted(self.by_label.items())),
         }
 
     def timing_snapshot(self) -> dict[str, float]:
@@ -94,5 +103,10 @@ class Profiler:
         return {"wall_seconds": self.wall_seconds, **dict(sorted(self.timings.items()))}
 
     def __repr__(self) -> str:
-        parts = ", ".join(f"{k}={v}" for k, v in self.snapshot().items())
+        # Deterministic counters only: wall time and labels would make
+        # reprs differ between identical runs.
+        parts = ", ".join(
+            f"{k}={v}" for k, v in self.snapshot().items()
+            if k not in ("wall_seconds", "by_label")
+        )
         return f"Profiler({parts})"

@@ -36,6 +36,7 @@ from ..datalog.rules import Program, Rule
 from ..datalog.terms import Term, Variable, is_ground
 from ..datalog.unify import Substitution, apply, match, unify_sequences
 from ..errors import ExecutionError
+from ..obs.tracer import NULL_TRACER
 from ..storage.catalog import Database
 from .evaluable import solve_comparison
 from .governor import ResourceGovernor
@@ -81,6 +82,7 @@ class TopDownEngine:
         tabling: bool = True,
         max_depth: int = 2_000,
         governor: ResourceGovernor | None = None,
+        tracer=NULL_TRACER,
     ):
         self.db = db
         self.program = program
@@ -89,8 +91,11 @@ class TopDownEngine:
         self.tabling = tabling
         self.max_depth = max_depth
         self.governor = governor
+        self.tracer = tracer
         if governor is not None and governor.profiler is None:
             governor.profiler = self.profiler
+        if governor is not None and tracer.enabled and governor.tracer is None:
+            governor.tracer = tracer
         self._tables: dict[tuple, _Table] = {}
         self._fresh = itertools.count()
 
@@ -101,30 +106,36 @@ class TopDownEngine:
         variables range over the answers)."""
         if self.governor is not None:
             self.governor.arm()
-        try:
-            if self.tabling:
-                # iterate to fixpoint: re-derive until no table grows
-                while True:
-                    for table in self._tables.values():
-                        table.complete = False
-                    before = self._total_answers()
-                    rows = {
-                        tuple(apply(arg, subst) for arg in goal.args)
-                        for subst in self._solve_literal(goal, {}, 0)
-                    }
-                    if self._total_answers() == before:
-                        return frozenset(rows)
-            rows = {
-                tuple(apply(arg, subst) for arg in goal.args)
-                for subst in self._solve_literal(goal, {}, 0)
-            }
-            return frozenset(rows)
-        except RecursionError:
-            # the Python stack ran out before max_depth: same diagnosis
-            raise ExecutionError(
-                "SLD resolution exhausted the stack "
-                "(left recursion without tabling?)"
-            ) from None
+        self.tracer.attach(self.profiler)
+        # The span sits at this non-generator boundary only: resolution
+        # below is generator-driven, and suspended generators would
+        # interleave span open/close out of tree order.
+        with self.tracer.span(f"sld:{goal.predicate}", kind="sld") as span:
+            span.note(tabling=self.tabling)
+            try:
+                if self.tabling:
+                    # iterate to fixpoint: re-derive until no table grows
+                    while True:
+                        for table in self._tables.values():
+                            table.complete = False
+                        before = self._total_answers()
+                        rows = {
+                            tuple(apply(arg, subst) for arg in goal.args)
+                            for subst in self._solve_literal(goal, {}, 0)
+                        }
+                        if self._total_answers() == before:
+                            return frozenset(rows)
+                rows = {
+                    tuple(apply(arg, subst) for arg in goal.args)
+                    for subst in self._solve_literal(goal, {}, 0)
+                }
+                return frozenset(rows)
+            except RecursionError:
+                # the Python stack ran out before max_depth: same diagnosis
+                raise ExecutionError(
+                    "SLD resolution exhausted the stack "
+                    "(left recursion without tabling?)"
+                ) from None
 
     def _total_answers(self) -> int:
         return sum(len(t.answers) for t in self._tables.values())

@@ -65,6 +65,9 @@ class ResourceExhausted(ExecutionError):
     the profiler counters at abort time and ``partial`` the governor's
     view of progress (live tuples, iterations, elapsed seconds), so
     callers can report how far the query got before it was stopped.
+    When a tracer is active, ``spans`` names the spans still open at
+    abort time (root first), so the error points at the phase and
+    operator that blew the budget.
     """
 
     #: short machine-readable tag for the exhausted budget
@@ -75,10 +78,12 @@ class ResourceExhausted(ExecutionError):
         message: str,
         snapshot: dict | None = None,
         partial: dict | None = None,
+        spans: tuple[str, ...] = (),
     ):
         super().__init__(message)
         self.snapshot = dict(snapshot or {})
         self.partial = dict(partial or {})
+        self.spans = tuple(spans)
 
 
 class DeadlineExceeded(ResourceExhausted):

@@ -31,6 +31,8 @@ from .datalog.rules import Program, Rule
 from .engine.interpreter import Interpreter, QueryAnswers
 from .engine.profiler import Profiler
 from .errors import KnowledgeBaseError
+from .obs.metrics import MetricsRegistry
+from .obs.tracer import NULL_TRACER
 from .optimizer.optimizer import OptimizedQuery, Optimizer, OptimizerConfig
 from .plans.printer import explain
 from .storage.catalog import Database
@@ -50,6 +52,10 @@ class KnowledgeBase:
         self._optimizer: Optimizer | None = None
         self._compiled: dict[tuple[str, str], OptimizedQuery] = {}
         self._views = None  # ViewSet, when materialize() has been called
+        #: cross-query observability aggregates (plan-cache hit rate,
+        #: governor denials, kernel compiles, ...); exportable via
+        #: ``metrics.to_json()`` / ``metrics.to_prometheus_text()``
+        self.metrics = MetricsRegistry()
 
     # ----------------------------------------------------------- loading
 
@@ -185,22 +191,38 @@ class KnowledgeBase:
             self._optimizer = Optimizer(self.program, self.db, self.config, builtins=self.builtins)
         return self._optimizer
 
-    def compile(self, query: str | QueryForm, governor=None) -> OptimizedQuery:
+    def compile(
+        self, query: str | QueryForm, governor=None, tracer=NULL_TRACER
+    ) -> OptimizedQuery:
         """Optimize a query form (cached per form + adornment).
 
         *governor* bounds the search itself: on deadline expiry the
         optimizer degrades its strategy instead of aborting (see
         :meth:`Optimizer.optimize`).  Governed compilations are not
         cached — a degraded plan must not shadow the full one.
+
+        *tracer* records parse / safety / optimize phase spans.
         """
-        form = parse_query(query) if isinstance(query, str) else query
+        if isinstance(query, str):
+            with tracer.span("parse", kind="phase"):
+                form = parse_query(query)
+        else:
+            form = query
+        with tracer.span("safety", kind="phase"):
+            # First use builds the dependency graph and runs the
+            # stratification check; later uses are a cache lookup.
+            optimizer = self.optimizer
         if governor is not None:
-            return self.optimizer.optimize(form, governor=governor)
+            return optimizer.optimize(
+                form, governor=governor, tracer=tracer, metrics=self.metrics
+            )
         key = (str(form.goal), form.adornment.code)
         hit = self._compiled.get(key)
         if hit is not None:
+            self.metrics.inc("plan_cache_hits_total")
             return hit
-        compiled = self.optimizer.optimize(form)
+        self.metrics.inc("plan_cache_misses_total")
+        compiled = optimizer.optimize(form, tracer=tracer, metrics=self.metrics)
         self._compiled[key] = compiled
         return compiled
 
@@ -208,15 +230,29 @@ class KnowledgeBase:
         """The optimizer's chosen processing tree, pretty-printed."""
         return explain(self.compile(query).plan)
 
-    def analyze(self, query: str | QueryForm, **bindings: object) -> str:
+    def analyze(
+        self, query: str | QueryForm, tracer=NULL_TRACER, **bindings: object
+    ) -> str:
         """EXPLAIN ANALYZE: execute the query and render the plan with
-        measured per-node statistics next to the estimates."""
+        ``est=<estimated card> act=<measured tuples> err=<q-error>`` on
+        every executed node, plus a top-misestimates summary.
+
+        *tracer* additionally records the full span tree of the run
+        (phases, plan nodes, operators, fixpoint rounds).
+        """
         from .plans.printer import explain_analyzed
 
-        compiled = self.compile(query)
         profiler = Profiler()
-        interpreter = Interpreter(self.db, profiler=profiler, builtins=self.builtins)
-        answers = interpreter.run(compiled.plan, compiled.query, **bindings)
+        tracer.attach(profiler)
+        with tracer.span("query", kind="query") as root:
+            compiled = self.compile(query, tracer=tracer)
+            root.note(goal=str(compiled.query.goal))
+            interpreter = Interpreter(
+                self.db, profiler=profiler, builtins=self.builtins,
+                tracer=tracer, metrics=self.metrics,
+            )
+            answers = interpreter.run(compiled.plan, compiled.query, **bindings)
+        self.metrics.inc("queries_total")
         body = explain_analyzed(compiled.plan, interpreter.node_stats)
         summary = (
             f"-- answers: {len(answers)} | work: {profiler.total_work} tuples "
@@ -232,6 +268,7 @@ class KnowledgeBase:
         query: str | QueryForm,
         profiler: Profiler | None = None,
         governor=None,
+        tracer=NULL_TRACER,
         **bindings: object,
     ) -> QueryAnswers:
         """Compile (cached) and execute a query.
@@ -246,15 +283,31 @@ class KnowledgeBase:
         deadline, live-tuple/memory budgets, cancellation, fault
         injection.  The default builds one from the engine's standard
         guards.
+
+        *tracer* (a :class:`~repro.obs.tracer.Tracer`) records the whole
+        pipeline as one span tree rooted at ``query``: parse, safety,
+        optimize phases, every plan node, operator, and fixpoint round.
         """
-        form = parse_query(query) if isinstance(query, str) else query
-        if self._views is not None and form.predicate in self._views:
-            return self._answer_from_view(form, profiler or Profiler(), bindings)
-        compiled = self.compile(form)
-        interpreter = Interpreter(
-            self.db, profiler=profiler, builtins=self.builtins, governor=governor
-        )
-        return interpreter.run(compiled.plan, compiled.query, **bindings)
+        self.metrics.inc("queries_total")
+        profiler = profiler or Profiler()
+        # Attach before opening the root span: attach only takes effect
+        # between span trees, so counter deltas cover the whole query.
+        tracer.attach(profiler)
+        with tracer.span("query", kind="query") as root:
+            if isinstance(query, str):
+                with tracer.span("parse", kind="phase"):
+                    form = parse_query(query)
+            else:
+                form = query
+            root.note(goal=str(form.goal))
+            if self._views is not None and form.predicate in self._views:
+                return self._answer_from_view(form, profiler, bindings)
+            compiled = self.compile(form, tracer=tracer)
+            interpreter = Interpreter(
+                self.db, profiler=profiler, builtins=self.builtins,
+                governor=governor, tracer=tracer, metrics=self.metrics,
+            )
+            return interpreter.run(compiled.plan, compiled.query, **bindings)
 
     def _answer_from_view(self, form: QueryForm, profiler: Profiler, bindings: dict) -> QueryAnswers:
         """Answer a query form by filtering a materialized extension."""

@@ -44,6 +44,7 @@ from ..datalog.magic import magic_rewrite, supplementary_magic_rewrite
 from ..datalog.rules import Program, Rule
 from ..datalog.safety import ec_check, exists_safe_order, well_founded_order
 from ..errors import OptimizationError, UnsafeQueryError
+from ..obs.tracer import NULL_TRACER
 from ..plans.nodes import FixpointNode, JoinNode, JoinStep, UnionNode
 from ..storage.statistics import RelationStats, StatisticsProvider
 from .annealing import AnnealingSchedule, annealing_order
@@ -137,6 +138,9 @@ class Optimizer:
         self._rng = random.Random(self.config.seed)
         #: the governor of the optimize() call in flight (None between calls)
         self._governor = None
+        #: tracer/metrics of the optimize() call in flight
+        self._tracer = NULL_TRACER
+        self._metrics = None
         #: counters exposed to the complexity benchmarks
         self.counters: dict[str, int] = {
             "and_optimizations": 0,
@@ -149,7 +153,9 @@ class Optimizer:
 
     # ------------------------------------------------------------------ API
 
-    def optimize(self, query: QueryForm, governor=None) -> OptimizedQuery:
+    def optimize(
+        self, query: QueryForm, governor=None, tracer=None, metrics=None
+    ) -> OptimizedQuery:
         """Compile *query* to a minimum-cost processing tree.
 
         Raises :class:`UnsafeQueryError` when no safe execution exists in
@@ -172,12 +178,20 @@ class Optimizer:
                 max_iterations=None,
             )
         self._governor = governor
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._metrics = metrics
         if governor is not None:
             governor.arm()
         try:
-            return self._optimize(query)
+            with self._tracer.span(
+                f"optimize:{self.config.strategy}", kind="phase"
+            ) as span:
+                span.note(query=str(query.goal), adornment=query.adornment.code)
+                return self._optimize(query)
         finally:
             self._governor = None
+            self._tracer = NULL_TRACER
+            self._metrics = None
 
     def _optimize(self, query: QueryForm) -> OptimizedQuery:
         self._diagnostics = []
@@ -292,6 +306,8 @@ class Optimizer:
             # Graceful degradation: the expensive search ran out of time,
             # so remaining bodies are ordered by the cheap fallback.
             self.counters["deadline_downgrades"] += 1
+            if self._metrics is not None:
+                self._metrics.inc("optimizer_degradations_total", kind="order")
             self._diagnostics.append(
                 f"optimizer deadline exceeded: downgraded {config.strategy} "
                 f"to {config.deadline_fallback} for a {len(joinable)}-literal body"
@@ -316,23 +332,25 @@ class Optimizer:
             # of aborting.  Fault plans can still target optimizer:order.
             self._governor.soft_checkpoint("optimizer:order")
         strategy = self._strategy_for(body)
-        if strategy == "exhaustive":
-            result = exhaustive_order(body, initially_bound, estimator)
-        elif strategy == "dp":
-            result = dp_order(body, initially_bound, estimator)
-        elif strategy == "kbz":
-            result = kbz_order(body, initially_bound, estimator)
-        elif strategy == "annealing":
-            result = annealing_order(
-                body, initially_bound, estimator,
-                rng=random.Random(self._rng.randrange(2**30)),
-                schedule=self.config.annealing,
-            )
-        elif strategy == "textual":
-            joinable, floating = split_joinable(body)
-            result = cost_order(body, tuple(joinable), floating, initially_bound, estimator)
-        else:  # pragma: no cover - guarded in __init__
-            raise OptimizationError(f"unknown strategy {strategy!r}")
+        with self._tracer.span(f"optimize:order:{strategy}", kind="optimizer") as span:
+            if strategy == "exhaustive":
+                result = exhaustive_order(body, initially_bound, estimator)
+            elif strategy == "dp":
+                result = dp_order(body, initially_bound, estimator)
+            elif strategy == "kbz":
+                result = kbz_order(body, initially_bound, estimator)
+            elif strategy == "annealing":
+                result = annealing_order(
+                    body, initially_bound, estimator,
+                    rng=random.Random(self._rng.randrange(2**30)),
+                    schedule=self.config.annealing,
+                )
+            elif strategy == "textual":
+                joinable, floating = split_joinable(body)
+                result = cost_order(body, tuple(joinable), floating, initially_bound, estimator)
+            else:  # pragma: no cover - guarded in __init__
+                raise OptimizationError(f"unknown strategy {strategy!r}")
+            span.note(evaluations=result.evaluations, literals=len(body))
         self.counters["order_evaluations"] += max(1, result.evaluations)
         return result
 
@@ -473,6 +491,13 @@ class Optimizer:
 
     def _optimize_cc(self, ref: PredicateRef, binding: BindingPattern) -> _MemoEntry:
         """Step 3: choose c-permutation + recursive method for a clique."""
+        with self._tracer.span(f"optimize:cc:{ref.name}", kind="optimizer") as span:
+            span.note(binding=binding.code)
+            entry = self._optimize_cc_inner(ref, binding)
+            span.note(method=entry.plan.method, cost=entry.est.cost)
+            return entry
+
+    def _optimize_cc_inner(self, ref: PredicateRef, binding: BindingPattern) -> _MemoEntry:
         self.counters["cc_optimizations"] += 1
         clique = self.graph.clique_of(ref)
         assert clique is not None
@@ -539,6 +564,10 @@ class Optimizer:
                     # expired deadline still yields a bound-method plan.
                     if candidates >= 1 and governor.deadline_exceeded():
                         self.counters["deadline_downgrades"] += 1
+                        if self._metrics is not None:
+                            self._metrics.inc(
+                                "optimizer_degradations_total", kind="cperm"
+                            )
                         self._diagnostics.append(
                             f"optimizer deadline exceeded: c-permutation "
                             f"search for {ref}{binding} truncated after "
@@ -555,7 +584,11 @@ class Optimizer:
                 if signature in seen_adorned:
                     continue
                 seen_adorned.add(signature)
-                candidate = self._cost_adorned(adorned, support, bound_methods)
+                with self._tracer.span(
+                    f"optimize:adorn:{ref.name}", kind="optimizer"
+                ) as aspan:
+                    candidate = self._cost_adorned(adorned, support, bound_methods)
+                    aspan.note(safe=candidate is not None)
                 if candidate is not None and candidate.est.cost < best_est.cost:
                     best_node = candidate
                     best_est = candidate.est
