@@ -67,12 +67,14 @@ def _bound_args(literal: Literal, pattern: BindingPattern) -> tuple[Term, ...]:
     return tuple(literal.args[i] for i in pattern.bound_positions)
 
 
-def _head_magic_literal(adorned_rule: AdornedRule) -> Literal | None:
-    """``m_H.a(b̄H)`` for the rule's head, or ``None`` if nothing is bound.
+def _head_magic_literal(adorned_rule: AdornedRule) -> Literal:
+    """``m_H.a(b̄H)`` for the rule's head.
 
-    An all-free head adornment yields a zero-ary magic predicate; we keep
-    it (it still gates *whether* the predicate is needed at all) unless the
-    adornment has arity zero entirely.
+    An all-free head adornment yields a *zero-ary* magic literal.  It is
+    kept rather than dropped: it carries no bindings, but it still gates
+    *whether* the predicate is asked for at all, and the seed for a
+    zero-ary magic predicate is simply the empty tuple (``seed_arity ==
+    0``), which the fixpoint engine inserts like any other seed row.
     """
     head = adorned_rule.rule.head
     pattern = adorned_rule.head_adornment

@@ -31,10 +31,11 @@ from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
 from ..datalog.builtins import BuiltinRegistry
+from ..datalog.graph import DependencyGraph
 from ..datalog.literals import Literal, pred_ref
 from ..datalog.rules import Program, Rule
 from ..datalog.terms import Term, Variable, is_ground
-from ..datalog.unify import Substitution, apply, match, unify_sequences
+from ..datalog.unify import Substitution, apply, match, unify, unify_sequences
 from ..errors import ExecutionError
 from ..obs.tracer import NULL_TRACER
 from ..storage.catalog import Database
@@ -98,6 +99,8 @@ class TopDownEngine:
             governor.tracer = tracer
         self._tables: dict[tuple, _Table] = {}
         self._fresh = itertools.count()
+        self._graph: DependencyGraph | None = None
+        self._closures: dict[str, frozenset[str]] = {}
 
     # ------------------------------------------------------------- public
 
@@ -119,17 +122,10 @@ class TopDownEngine:
                         for table in self._tables.values():
                             table.complete = False
                         before = self._total_answers()
-                        rows = {
-                            tuple(apply(arg, subst) for arg in goal.args)
-                            for subst in self._solve_literal(goal, {}, 0)
-                        }
+                        rows = self._goal_rows(goal)
                         if self._total_answers() == before:
                             return frozenset(rows)
-                rows = {
-                    tuple(apply(arg, subst) for arg in goal.args)
-                    for subst in self._solve_literal(goal, {}, 0)
-                }
-                return frozenset(rows)
+                return frozenset(self._goal_rows(goal))
             except RecursionError:
                 # the Python stack ran out before max_depth: same diagnosis
                 raise ExecutionError(
@@ -139,6 +135,26 @@ class TopDownEngine:
 
     def _total_answers(self) -> int:
         return sum(len(t.answers) for t in self._tables.values())
+
+    def _goal_rows(self, goal: Literal) -> set[Row]:
+        """One pass over the goal's derivations, ground answers only.
+
+        A non-ground answer means a head variable the body never bound —
+        a rule outside the range-restricted fragment.  The bottom-up
+        engines refuse such rules at execution time; raising the same
+        diagnosis here keeps the strategies behaviourally aligned instead
+        of silently returning rows containing variables.
+        """
+        rows: set[Row] = set()
+        for subst in self._solve_literal(goal, {}, 0):
+            row = tuple(apply(arg, subst) for arg in goal.args)
+            if not all(is_ground(term) for term in row):
+                raise ExecutionError(
+                    f"goal {goal} derived non-ground answer {row} — rule "
+                    "head not fully bound by body (unsafe execution)"
+                )
+            rows.add(row)
+        return rows
 
     # -------------------------------------------------------- resolution
 
@@ -166,9 +182,8 @@ class TopDownEngine:
                     raise ExecutionError(
                         f"negated goal {literal} entered with unbound arguments"
                     )
-            sub_engine_answers = self._solve_literal(Literal(inner.predicate, applied), {}, depth + 1)
             self.profiler.bump_examined()
-            if next(iter(sub_engine_answers), None) is None:
+            if self._negation_holds(Literal(inner.predicate, applied), depth + 1):
                 yield subst
             return
         if self.builtins is not None:
@@ -243,9 +258,15 @@ class TopDownEngine:
                 continue
             self.profiler.bump_produced()
             for body_subst in self._solve_body(fresh.body, head_subst, depth + 1):
+                # Full unification, not one-way match: an unsafe rule can
+                # leave a head variable unbound, and match()'s ground-side
+                # contract would then write a self-referential binding
+                # (X -> X) that turns every later walk() into an infinite
+                # loop.  unify() handles the variable-variable case and
+                # keeps the occurs check.
                 merged: Substitution | None = dict(subst)
                 for pattern, head_arg in zip(literal.args, fresh.head.args):
-                    merged = match(
+                    merged = unify(
                         apply(pattern, merged), apply(head_arg, body_subst), merged
                     ) if merged is not None else None
                     if merged is None:
@@ -263,6 +284,62 @@ class TopDownEngine:
         for solved in self._solve_literal(first, subst, depth):
             yield from self._solve_body(rest, solved, depth)
 
+    # ---------------------------------------------------------- negation
+
+    def _negation_holds(self, goal: Literal, depth: int) -> bool:
+        """Decide ``~goal`` (*goal* ground) soundly under tabling.
+
+        Negation-as-failure is only sound against a *completed* table:
+        mid-fixpoint, the positive subgoal's tables may still be growing,
+        and a premature "no answer" verdict would park a wrong derivation
+        in the caller's table forever (answers are never retracted).  So
+        before testing emptiness we drive the subgoal's own dependency
+        closure to a local fixpoint: re-un-complete exactly the closure
+        tables and re-solve until no closure table grows.  Stratification
+        (checked on first use) guarantees the caller's predicate is
+        outside that closure, so suspended caller expansions stay intact.
+        """
+        if not self.tabling:
+            return next(iter(self._solve_literal(goal, {}, depth)), None) is None
+        closure = self._closure_names(goal.predicate)
+        while True:
+            before = self._closure_answer_count(closure)
+            for key, table in self._tables.items():
+                if key[0] in closure:
+                    table.complete = False
+            if next(iter(self._solve_literal(goal, {}, depth)), None) is not None:
+                # Tabled answers are sound the moment they appear, so any
+                # positive answer refutes the negation immediately.
+                return False
+            if self._closure_answer_count(closure) == before:
+                return True
+
+    def _closure_names(self, predicate: str) -> frozenset[str]:
+        cached = self._closures.get(predicate)
+        if cached is not None:
+            return cached
+        if self._graph is None:
+            graph = DependencyGraph(self.program)
+            graph.check_stratified()
+            self._graph = graph
+        refs = {
+            ref
+            for ref in self.program.predicates
+            if ref.name == predicate
+        }
+        names = frozenset(
+            dep.name for ref in refs for dep in self._graph.reachable_from(ref)
+        ) | {predicate}
+        self._closures[predicate] = names
+        return names
+
+    def _closure_answer_count(self, closure: frozenset[str]) -> int:
+        return sum(
+            len(table.answers)
+            for key, table in self._tables.items()
+            if key[0] in closure
+        )
+
     # ----------------------------------------------------------- tabling
 
     def _solve_tabled(
@@ -276,14 +353,32 @@ class TopDownEngine:
         governor = self.governor
         if not table.complete:
             table.complete = True  # mark first: recursive calls consume answers-so-far
-            for answer_subst in self._expand_rules(literal, subst, rules, depth):
-                row = tuple(apply(arg, answer_subst) for arg in literal.args)
-                if all(is_ground(f) for f in row) and row not in table.answers:
-                    table.answers.add(row)
-                    if governor is not None:
-                        # Tabled answers persist for the whole query, so
-                        # they count against the live-tuple budget.
-                        governor.tick(1)
+            try:
+                for answer_subst in self._expand_rules(literal, subst, rules, depth):
+                    row = tuple(apply(arg, answer_subst) for arg in literal.args)
+                    if not all(is_ground(f) for f in row):
+                        # Range-restricted rules always ground their head;
+                        # a variable surviving here means an unsafe rule.
+                        # Dropping the row would silently under-answer —
+                        # raise the same diagnosis as the bottom-up engines.
+                        raise ExecutionError(
+                            f"subgoal {literal.predicate} derived non-ground "
+                            f"answer {row} — rule head not fully bound by "
+                            "body (unsafe execution)"
+                        )
+                    if row not in table.answers:
+                        table.answers.add(row)
+                        if governor is not None:
+                            # Tabled answers persist for the whole query, so
+                            # they count against the live-tuple budget.
+                            governor.tick(1)
+            except BaseException:
+                # An abort mid-expansion (fault, exhausted budget, or an
+                # abandoned generator unwinding via GeneratorExit) leaves
+                # the table partial; keeping it marked complete would make
+                # a later query on this engine silently read short answers.
+                table.complete = False
+                raise
         for row in sorted(table.answers, key=str):
             self.profiler.bump_examined()
             extended: Substitution | None = subst

@@ -1,0 +1,151 @@
+"""Metamorphic checks: the execution space really is equivalence-closed.
+
+Section 5 defines the execution space as the closure of a processing
+tree under MP (mode flip), PR (step permutation), PS (selection
+placement), and EL (join-method relabel).  The checker re-executes a
+compiled query under systematic applications of each transform and
+asserts the answers never change; a transformed plan that *raises* is
+acceptable (an unsafe permutation — the engine refusing is itself the
+documented contract), but a plan that silently answers differently is a
+violation.
+
+It also checks the cost model's internal consistency on every rule body:
+the exhaustive optimizer's chosen order must cost no more than any
+enumerated permutation (monotonicity of the minimum), and re-costing the
+chosen order must reproduce its estimate (determinism).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator
+
+from ..datalog.parser import parse_query
+from ..engine.interpreter import Interpreter
+from ..errors import ExecutionError, PlanError, ReproError
+from ..kb import KnowledgeBase
+from ..optimizer import OptimizerConfig
+from ..optimizer.conjunctive import cost_order, enumerate_orders, exhaustive_order, split_joinable
+from ..plans.nodes import JoinNode, UnionNode, plan_nodes
+from ..plans.transforms import exchange_label, permute, push_select, set_mode
+from .oracle import Case
+
+_EL_METHODS = ("nested_loop", "hash", "merge")
+
+
+def _replace_node(plan, target, replacement):
+    """The plan tree with *target* (by identity) swapped for *replacement*."""
+    if plan is target:
+        return replacement
+    if isinstance(plan, UnionNode):
+        return dataclasses.replace(
+            plan,
+            children=tuple(_replace_node(c, target, replacement) for c in plan.children),
+        )
+    if isinstance(plan, JoinNode):
+        steps = tuple(
+            dataclasses.replace(s, child=_replace_node(s.child, target, replacement))
+            if s.child is not None
+            else s
+            for s in plan.steps
+        )
+        return dataclasses.replace(plan, steps=steps)
+    return plan  # FixpointNode: its program is rules, not plan nodes
+
+
+def _transform_candidates(node: JoinNode) -> Iterator[tuple[str, JoinNode]]:
+    n = len(node.steps)
+    if n >= 2:
+        yield "PR:reverse", permute(node, list(reversed(range(n))))
+        yield "PR:rotate", permute(node, list(range(1, n)) + [0])
+    for index, step in enumerate(node.steps):
+        if step.literal.is_comparison or step.literal.negated:
+            continue
+        yield f"MP:{index}", set_mode(node, index, not step.pipelined)
+        if step.child is None:
+            for method in _EL_METHODS:
+                if method != step.method:
+                    yield f"EL:{index}:{method}", exchange_label(node, index, method)
+    for index, step in enumerate(node.steps):
+        if step.literal.is_comparison and n >= 2:
+            yield f"PS:{index}->end", push_select(node, index, n - 1)
+            if index > 0:
+                yield f"PS:{index}->front", push_select(node, index, 0)
+
+
+class MetamorphicChecker:
+    """Answer stability under plan transforms + cost-model consistency."""
+
+    def __init__(self, strategy: str = "dp"):
+        self.strategy = strategy
+
+    def _knowledge_base(self, case: Case) -> KnowledgeBase:
+        kb = KnowledgeBase(OptimizerConfig(strategy=self.strategy, seed=0))
+        kb.rules(case.rules)
+        for name in sorted(case.facts):
+            rows = case.facts[name]
+            if rows:
+                kb.facts(name, [tuple(row) for row in rows])
+        return kb
+
+    def check_plan_transforms(self, case: Case) -> list[str]:
+        """Violations: transforms that changed the answer set."""
+        kb = self._knowledge_base(case)
+        form = parse_query(case.query)
+        plan = kb.compile(case.query).plan
+        baseline = Interpreter(kb.db, builtins=kb.builtins).run(plan, form).rows
+        violations: list[str] = []
+        joins = [n for n in plan_nodes(plan) if isinstance(n, JoinNode)]
+        for target in joins:
+            for label, transformed in _transform_candidates(target):
+                try:
+                    candidate = _replace_node(plan, target, transformed)
+                except PlanError:
+                    continue
+                try:
+                    rows = Interpreter(kb.db, builtins=kb.builtins).run(candidate, form).rows
+                except ExecutionError:
+                    # an unsafe order must raise, not mis-answer — raising
+                    # is the contract, so this is not a violation
+                    continue
+                if rows != baseline:
+                    violations.append(
+                        f"{label} on {target.describe()} changed answers: "
+                        f"{len(rows)} rows vs {len(baseline)} baseline "
+                        f"(query {case.query})"
+                    )
+        return violations
+
+    def check_cost_consistency(self, case: Case) -> list[str]:
+        """Violations of cost-model monotonicity/determinism per rule body."""
+        kb = self._knowledge_base(case)
+        optimizer = kb.optimizer
+        estimator = optimizer._estimator()
+        violations: list[str] = []
+        for rule in optimizer.program:
+            joinable, floating = split_joinable(rule.body)
+            if not 2 <= len(joinable) <= 5:
+                continue
+            try:
+                best = exhaustive_order(rule.body, frozenset(), estimator)
+                for result in enumerate_orders(rule.body, frozenset(), estimator):
+                    if best.est.cost > result.est.cost * (1 + 1e-9) + 1e-9:
+                        violations.append(
+                            f"exhaustive minimum {best.est.cost:.3f} exceeds "
+                            f"order {result.order} at {result.est.cost:.3f} "
+                            f"for rule '{rule}'"
+                        )
+                chosen = tuple(i for i in best.order if i in joinable)
+                recost = cost_order(rule.body, chosen, floating, frozenset(), estimator)
+                if abs(recost.est.cost - best.est.cost) > 1e-6 * max(1.0, best.est.cost):
+                    violations.append(
+                        f"re-costing chosen order {chosen} gives "
+                        f"{recost.est.cost:.3f} != {best.est.cost:.3f} "
+                        f"for rule '{rule}'"
+                    )
+            except ReproError as exc:
+                violations.append(f"cost model raised on rule '{rule}': {exc}")
+        return violations
+
+    def check(self, case: Case) -> list[str]:
+        return self.check_plan_transforms(case) + self.check_cost_consistency(case)

@@ -1,0 +1,236 @@
+"""Delta-debugging shrinker for disagreeing differential cases.
+
+Given a case on which :meth:`DifferentialOracle.still_failing` holds,
+the shrinker greedily removes rules, body literals, fact relations, and
+fact rows — keeping a removal only while the case still disagrees —
+until a fixpoint.  Candidates that make the *reference* strategy fail
+(parse errors, unknown predicates, non-stratified programs) are never
+"failing": the predicate treats them as invalid, so the minimal
+reproducer is always a well-formed program.
+
+The result can be emitted two ways:
+
+* :func:`to_pytest_source` — a ready-to-paste pytest test asserting the
+  case produces no disagreements;
+* :func:`to_corpus_dict` — the JSON corpus format replayed by
+  ``tests/test_differential.py`` (see ``docs/testing.md``).
+"""
+
+from __future__ import annotations
+
+import re
+import signal
+import threading
+from typing import Callable
+
+from ..datalog.parser import parse_program
+from ..errors import ReproError
+from .oracle import Case, case_to_dict
+
+Predicate = Callable[[Case], bool]
+
+
+class _CandidateTimeout(BaseException):
+    """Internal alarm signal — BaseException so engine code that catches
+    ``Exception`` cannot swallow it."""
+
+
+def _bounded(predicate: Predicate, timeout: float | None) -> Predicate:
+    """*predicate* with a wall-clock cap per candidate (timeout = False).
+
+    Shrinking explores *mutated* programs, which is exactly where engine
+    pathologies live (the shrinker once minted an unsafe rule that sent
+    the seed SLD engine into an infinite substitution walk).  A candidate
+    that exceeds the cap is treated as not-failing and discarded, keeping
+    every shrink run bounded.  Uses ``SIGALRM``, so the cap only engages
+    on the main thread of a Unix process; elsewhere the predicate runs
+    unbounded, which matches the previous behaviour.
+    """
+    if (
+        not timeout
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        return predicate
+
+    def raise_timeout(signum, frame):
+        raise _CandidateTimeout()
+
+    def bounded(candidate: Case) -> bool:
+        previous = signal.signal(signal.SIGALRM, raise_timeout)
+        signal.setitimer(signal.ITIMER_REAL, timeout)
+        try:
+            return predicate(candidate)
+        except _CandidateTimeout:
+            return False
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0)
+            signal.signal(signal.SIGALRM, previous)
+
+    return bounded
+
+
+def _rule_lines(case: Case) -> list[str]:
+    """The program as one parseable line per rule (str(Rule) round-trips)."""
+    return [str(rule) for rule in parse_program(case.rules)]
+
+
+def _with_rules(case: Case, lines: list[str]) -> Case:
+    return Case(rules="\n".join(lines), facts=case.facts, query=case.query)
+
+
+def _try(predicate: Predicate, candidate: Case) -> bool:
+    try:
+        return predicate(candidate)
+    except ReproError:
+        return False
+
+
+def _shrink_rules(case: Case, predicate: Predicate) -> Case:
+    changed = True
+    while changed:
+        changed = False
+        lines = _rule_lines(case)
+        for index in range(len(lines)):
+            candidate = _with_rules(case, lines[:index] + lines[index + 1:])
+            if _try(predicate, candidate):
+                case = candidate
+                changed = True
+                break
+    return case
+
+
+def _shrink_body_literals(case: Case, predicate: Predicate) -> Case:
+    changed = True
+    while changed:
+        changed = False
+        rules = list(parse_program(case.rules))
+        for rule_index, rule in enumerate(rules):
+            for position in range(len(rule.body)):
+                body = rule.body[:position] + rule.body[position + 1:]
+                if not body:
+                    continue  # dropping to a bodiless rule changes safety shape
+                slimmed = rule.with_body(list(body))
+                lines = [
+                    str(slimmed if i == rule_index else r) for i, r in enumerate(rules)
+                ]
+                candidate = _with_rules(case, lines)
+                if _try(predicate, candidate):
+                    case = candidate
+                    changed = True
+                    break
+            if changed:
+                break
+    return case
+
+
+def _shrink_facts(case: Case, predicate: Predicate) -> Case:
+    # whole relations first, then halves of each, then single rows
+    changed = True
+    while changed:
+        changed = False
+        for name in sorted(case.facts):
+            facts = {k: v for k, v in case.facts.items() if k != name}
+            candidate = Case(rules=case.rules, facts=facts, query=case.query)
+            if _try(predicate, candidate):
+                case = candidate
+                changed = True
+                break
+        if changed:
+            continue
+        for name in sorted(case.facts):
+            rows = list(case.facts[name])
+            if len(rows) <= 1:
+                continue
+            chunk = max(1, len(rows) // 2)
+            for start in range(0, len(rows), chunk):
+                kept = rows[:start] + rows[start + chunk:]
+                if not kept:
+                    continue
+                facts = dict(case.facts)
+                facts[name] = tuple(kept)
+                candidate = Case(rules=case.rules, facts=facts, query=case.query)
+                if _try(predicate, candidate):
+                    case = candidate
+                    changed = True
+                    break
+            if changed:
+                break
+        if changed:
+            continue
+        for name in sorted(case.facts):
+            rows = list(case.facts[name])
+            for index in range(len(rows)):
+                kept = rows[:index] + rows[index + 1:]
+                if not kept:
+                    continue
+                facts = dict(case.facts)
+                facts[name] = tuple(kept)
+                candidate = Case(rules=case.rules, facts=facts, query=case.query)
+                if _try(predicate, candidate):
+                    case = candidate
+                    changed = True
+                    break
+            if changed:
+                break
+    return case
+
+
+def shrink_case(
+    case: Case,
+    predicate: Predicate,
+    max_rounds: int = 10,
+    candidate_timeout: float | None = 10.0,
+) -> Case:
+    """Reduce *case* to a (1-minimal-ish) reproducer of ``predicate``.
+
+    *predicate* must be True for *case* itself; the result is the
+    smallest case the greedy passes reach for which it stays True.
+    Each candidate evaluation is capped at *candidate_timeout* seconds
+    (see :func:`_bounded`); pass ``None`` to disable the cap.
+    """
+    predicate = _bounded(predicate, candidate_timeout)
+    if not _try(predicate, case):
+        raise ValueError("shrink_case needs a case the predicate accepts")
+    for __ in range(max_rounds):
+        before = (case.rules, case.facts)
+        case = _shrink_rules(case, predicate)
+        case = _shrink_body_literals(case, predicate)
+        case = _shrink_facts(case, predicate)
+        if (case.rules, case.facts) == before:
+            break
+    return case
+
+
+# ------------------------------------------------------------------ output
+
+
+def to_corpus_dict(case: Case, note: str, seed: int | None = None,
+                   strategies: tuple[str, ...] = ()) -> dict:
+    """The corpus-file payload for a minimized reproducer."""
+    out = case_to_dict(case)
+    out["note"] = note
+    if seed is not None:
+        out["seed"] = seed
+    if strategies:
+        out["strategies"] = list(strategies)
+    return out
+
+
+def _slug(text: str) -> str:
+    return re.sub(r"[^a-z0-9]+", "_", text.lower()).strip("_")[:48] or "case"
+
+
+def to_pytest_source(case: Case, name: str, note: str) -> str:
+    """A ready-to-paste pytest test asserting the case agrees everywhere."""
+    facts = {k: [tuple(r) for r in v] for k, v in sorted(case.facts.items())}
+    rules = "\n".join(f"    {line}" for line in case.rules.splitlines())
+    return (
+        f"def test_{_slug(name)}():\n"
+        f'    """{note}"""\n'
+        f"    from repro.testing import Case, DifferentialOracle\n\n"
+        f"    rules = '''\n{rules}\n    '''\n"
+        f"    facts = {facts!r}\n"
+        f"    case = Case.make(rules, facts, {case.query!r})\n"
+        f"    assert DifferentialOracle().check(case) == []\n"
+    )

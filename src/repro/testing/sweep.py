@@ -1,0 +1,147 @@
+"""Seeded differential sweep: ``python -m repro.testing.sweep``.
+
+Generates programs with :func:`~repro.workloads.generate_differential_program`,
+runs every query through the :class:`~repro.testing.DifferentialOracle`,
+and — on the first disagreement — shrinks the case to a minimal
+reproducer, prints it as a ready-to-paste pytest test, optionally writes
+it to a corpus directory, and exits 1.
+
+The CI smoke sweep runs ``--seed 0 --count 200``; the dispatch-only wide
+sweep raises ``--count`` and randomizes ``--seed``.  ``--metamorphic-every
+N`` additionally runs the plan-transform and cost-consistency checks on
+every Nth program.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from ..workloads import generate_differential_program
+from .metamorphic import MetamorphicChecker
+from .oracle import Case, DifferentialOracle, OracleError, strategy_names
+from .shrink import shrink_case, to_corpus_dict, to_pytest_source
+
+
+def _report_failure(
+    oracle: DifferentialOracle,
+    case: Case,
+    seed: int,
+    corpus_dir: str | None,
+) -> None:
+    disagreements = oracle.check(case)
+    print(f"\nDISAGREEMENT (program seed {seed}, query {case.query}):")
+    for d in disagreements:
+        print(f"  {d}")
+    print("\nshrinking ...", flush=True)
+    shrunk = shrink_case(case, oracle.failure_predicate(case))
+    strategies = tuple(d.strategy for d in oracle.check(shrunk))
+    note = (
+        f"Minimized differential reproducer (seed {seed}): "
+        f"{', '.join(strategies)} disagree with {oracle.reference}."
+    )
+    print("\nminimal reproducer as a pytest case:\n")
+    print(to_pytest_source(shrunk, f"differential_seed_{seed}", note))
+    if corpus_dir is not None:
+        path = Path(corpus_dir)
+        path.mkdir(parents=True, exist_ok=True)
+        target = path / f"seed_{seed}.json"
+        target.write_text(
+            json.dumps(to_corpus_dict(shrunk, note, seed=seed, strategies=strategies), indent=2)
+            + "\n"
+        )
+        print(f"reproducer written to {target}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.testing.sweep",
+        description="differential sweep across all execution strategies",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="first program seed")
+    parser.add_argument("--count", type=int, default=200, help="number of programs")
+    parser.add_argument(
+        "--queries-per-program", type=int, default=0,
+        help="cap queries per program (0 = run all generated queries)",
+    )
+    parser.add_argument(
+        "--strategies", nargs="*", default=None, metavar="NAME",
+        help=f"strategy subset (default: all of {', '.join(strategy_names())})",
+    )
+    parser.add_argument(
+        "--metamorphic-every", type=int, default=0, metavar="N",
+        help="run metamorphic plan-transform/cost checks on every Nth program",
+    )
+    parser.add_argument(
+        "--corpus-dir", default=None,
+        help="directory for shrunk reproducer JSON files",
+    )
+    parser.add_argument(
+        "--keep-going", action="store_true",
+        help="continue after a disagreement instead of exiting",
+    )
+    args = parser.parse_args(argv)
+
+    oracle = DifferentialOracle(strategies=args.strategies)
+    checker = MetamorphicChecker()
+    started = time.time()
+    programs = cases = runs = skips = 0
+    failures = 0
+    metamorphic_checked = 0
+
+    for index in range(args.count):
+        seed = args.seed + index
+        sample = generate_differential_program(seed)
+        programs += 1
+        queries = sample.queries
+        if args.queries_per_program:
+            queries = queries[: args.queries_per_program]
+        for query in queries:
+            case = Case.make(sample.rules, sample.facts, query)
+            cases += 1
+            try:
+                outcomes = oracle.outcomes(case)
+            except OracleError as exc:
+                print(f"INVALID CASE (seed {seed}, query {query}): {exc}")
+                failures += 1
+                if not args.keep_going:
+                    return 1
+                continue
+            runs += sum(1 for o in outcomes if o.status == "ok")
+            skips += sum(1 for o in outcomes if o.status == "skip")
+            if any(o.status == "error" for o in outcomes) or any(
+                o.answers != outcomes[0].answers
+                for o in outcomes
+                if o.status == "ok"
+            ):
+                failures += 1
+                _report_failure(oracle, case, seed, args.corpus_dir)
+                if not args.keep_going:
+                    return 1
+        if args.metamorphic_every and index % args.metamorphic_every == 0:
+            metamorphic_checked += 1
+            violations = checker.check(
+                Case.make(sample.rules, sample.facts, sample.queries[0])
+            )
+            if violations:
+                failures += 1
+                print(f"\nMETAMORPHIC VIOLATIONS (seed {seed}):")
+                for violation in violations:
+                    print(f"  {violation}")
+                if not args.keep_going:
+                    return 1
+
+    elapsed = time.time() - started
+    print(
+        f"{programs} programs, {cases} cases, {runs} strategy runs "
+        f"({skips} skips), {metamorphic_checked} metamorphic checks, "
+        f"{failures} failures, {elapsed:.1f}s"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,16 +11,21 @@ from .datasets import (
 )
 from .paper_rulebase import PAPER_RULEBASE, paper_database, paper_program
 from .querygen import (
+    DIFFERENTIAL_FEATURES,
     RUNAWAY_KINDS,
     SHAPES,
     ConjunctiveWorkload,
+    DifferentialProgram,
     generate_batch,
     generate_conjunctive,
+    generate_differential_program,
     generate_runaway_program,
 )
 
 __all__ = [
     "ConjunctiveWorkload",
+    "DIFFERENTIAL_FEATURES",
+    "DifferentialProgram",
     "PAPER_RULEBASE",
     "RUNAWAY_KINDS",
     "SHAPES",
@@ -29,6 +34,7 @@ __all__ = [
     "chain",
     "generate_batch",
     "generate_conjunctive",
+    "generate_differential_program",
     "generate_runaway_program",
     "paper_database",
     "paper_program",

@@ -148,6 +148,164 @@ def generate_random_program(
     return "\n".join(lines), facts, "top($X, Y)?"
 
 
+DIFFERENTIAL_FEATURES = (
+    "negation", "comparison", "multiclique", "zeroary", "functor",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class DifferentialProgram:
+    """One sampled program + data + query set for differential testing.
+
+    ``facts`` maps base relation names to plain-python rows (the loader
+    converts them to terms); ``queries`` are parseable query strings with
+    constants for bound arguments, so every execution strategy can run
+    them without keyword bindings; ``features`` records which optional
+    language features this sample exercises.
+    """
+
+    rules: str
+    facts: dict[str, list[tuple]]
+    queries: tuple[str, ...]
+    seed: int
+    features: frozenset[str]
+
+
+def generate_differential_program(
+    seed: int = 0,
+    domain_size: int = 6,
+    facts_per_relation: int = 9,
+    features: tuple[str, ...] | None = None,
+) -> DifferentialProgram:
+    """A random stratified, terminating program for the differential oracle.
+
+    Covers the features the conjunctive generator skips: recursive cliques
+    (left/right/non-linear transitive closure), *multi-clique* programs (a
+    second clique consuming the first), stratified negation over base and
+    recursive predicates, arithmetic comparisons, zero-ary predicates
+    (both as goals and as body guards), and functor terms (built and
+    decomposed in rule heads/bodies, never stored as facts).
+
+    Bodies are emitted in a textually safe order — positive binding
+    literals before comparisons and negations — because the tabled SLD
+    engine resolves strictly left to right.  When *features* is ``None``
+    each optional feature is an independent seeded coin flip, so a sweep
+    over many seeds covers every combination.
+    """
+    rng = random.Random(seed)
+    if features is None:
+        enabled = frozenset(f for f in DIFFERENTIAL_FEATURES if rng.random() < 0.6)
+    else:
+        enabled = frozenset(features)
+        unknown = enabled - set(DIFFERENTIAL_FEATURES)
+        if unknown:
+            raise ValueError(f"unknown differential features: {sorted(unknown)}")
+
+    domain = [f"d{i}" for i in range(domain_size)]
+
+    def pairs(count: int) -> list[tuple]:
+        rows = {(rng.choice(domain), rng.choice(domain)) for __ in range(count)}
+        return sorted(rows)
+
+    def sparse_edges() -> list[tuple]:
+        # a chain backbone over the domain (long shortest paths — these
+        # are what expose premature negation against a growing table)
+        # plus a couple of random shortcuts
+        rows = {(domain[i], domain[i + 1]) for i in range(len(domain) - 1)}
+        for __ in range(2):
+            rows.add((rng.choice(domain), rng.choice(domain)))
+        return sorted(rows)
+
+    facts: dict[str, list[tuple]] = {
+        "b0": pairs(facts_per_relation),
+        "b1": pairs(facts_per_relation),
+        "e0": sparse_edges(),
+        "node": [(d,) for d in domain],
+    }
+    lines: list[str] = []
+    # binary derived predicates eligible as top/union sources
+    sources: list[str] = []
+
+    # recursive clique 0: a transitive-closure flavor (always terminates);
+    # textual rule order is part of the sampled space — the tabled SLD
+    # engine expands rules in that order, so exit-first and exit-last are
+    # different executions
+    flavor = rng.choice(("left", "right", "nonlinear"))
+    recursive_rule = {
+        "left": "p0(X, Y) <- p0(X, Z), e0(Z, Y).",
+        "right": "p0(X, Y) <- e0(X, Z), p0(Z, Y).",
+        "nonlinear": "p0(X, Y) <- p0(X, Z), p0(Z, Y).",
+    }[flavor]
+    clique_rules = ["p0(X, Y) <- e0(X, Y).", recursive_rule]
+    if rng.random() < 0.5:
+        clique_rules.reverse()
+    lines.extend(clique_rules)
+    sources.append("p0")
+
+    if "multiclique" in enabled:
+        facts["e1"] = pairs(facts_per_relation - 2)
+        lines.append("p1(X, Y) <- p0(X, Y).")
+        lines.append("p1(X, Y) <- p1(X, Z), e1(Z, Y).")
+        sources.append("p1")
+
+    # non-recursive join layer over the base relations
+    guard = ", X != Y" if rng.random() < 0.5 else ""
+    lines.append(f"j0(X, Y) <- b0(X, Z), b1(Z, Y){guard}.")
+    sources.append("j0")
+
+    if "comparison" in enabled:
+        facts["num"] = sorted(
+            {(rng.randrange(0, 9), rng.randrange(0, 9)) for __ in range(facts_per_relation)}
+        )
+        op = rng.choice(("<", "<=", ">", ">=", "!="))
+        lines.append(f"c0(X, Y) <- num(X, Y), X {op} Y.")
+        sources.append("c0")
+
+    if "negation" in enabled:
+        # over a base relation, and over the recursive stratum below
+        lines.append("n0(X, Y) <- b0(X, Y), ~b1(X, Y).")
+        anchor = rng.choice(domain)
+        lines.append(f"n1(X, Y) <- node(X), node(Y), ~p0({anchor}, Y).")
+        sources.append("n0")
+        sources.append("n1")
+
+    if "functor" in enabled:
+        # build and decompose structs in rules — swapping the fields on
+        # the way out so the decomposition actually matters
+        lines.append("w0(pack(X, Y)) <- j0(X, Y).")
+        lines.append("u0(X, Y) <- w0(pack(Y, X)).")
+        sources.append("u0")
+
+    if "zeroary" in enabled:
+        lines.append("z0 <- b0(X, Y), X != Y.")
+        lines.append("g0(X, Y) <- z0, b1(X, Y).")
+        sources.append("g0")
+
+    for source in sorted(rng.sample(sources, k=min(2, len(sources)))):
+        lines.append(f"top(X, Y) <- {source}(X, Y).")
+
+    queries = ["top(X, Y)?", f"top({rng.choice(domain)}, Y)?"]
+    queries.append(
+        f"p0({rng.choice(domain)}, Y)?" if rng.random() < 0.5 else "p0(X, Y)?"
+    )
+    if "multiclique" in enabled:
+        queries.append(f"p1({rng.choice(domain)}, Y)?")
+    if "negation" in enabled:
+        # query the negation-over-recursion predicate directly: its answers
+        # hinge on the recursive stratum being complete when ~p0 is tested
+        queries.append("n1(X, Y)?")
+    if "zeroary" in enabled:
+        queries.append("z0?")
+
+    return DifferentialProgram(
+        rules="\n".join(lines),
+        facts=facts,
+        queries=tuple(queries),
+        seed=seed,
+        features=enabled,
+    )
+
+
 RUNAWAY_KINDS = ("counter", "blowup", "chain")
 
 

@@ -173,6 +173,41 @@ def test_magic_second_argument_bound():
     assert got == {("a", "c"), ("b", "c"), ("x", "c")}
 
 
+def test_magic_zero_ary_seed_end_to_end():
+    """All-free adornment: the magic predicate is zero-ary and its seed is
+    the empty tuple; the rewritten program must recompute the full
+    extension once the engine inserts that seed."""
+    adorned = adorned_anc(binding="ff")
+    mp = magic_rewrite(adorned)
+    assert mp.seed_predicate == "m_anc.ff"
+    assert mp.seed_arity == 0
+    # every rule is gated on the zero-ary magic literal, never dropped
+    for rule in mp.program:
+        if rule.head.predicate == mp.answer_predicate:
+            assert rule.body[0].predicate == mp.seed_predicate
+            assert rule.body[0].arity == 0
+    db = Database()
+    db.load("par", [("a", "b"), ("b", "c"), ("x", "c")])
+    res = evaluate_program(db, mp.program, seeds={mp.seed_predicate: {()}})
+    reference = evaluate_program(db, parse_program(ANC))["anc"]
+    assert res[mp.answer_predicate] == reference
+    # without the seed the gate stays shut: nothing is derived
+    empty = evaluate_program(db, mp.program, seeds={mp.seed_predicate: set()})
+    assert not empty[mp.answer_predicate]
+
+
+def test_supplementary_zero_ary_seed_end_to_end():
+    from repro.datalog.magic import supplementary_magic_rewrite
+
+    sup = supplementary_magic_rewrite(adorned_anc(binding="ff"))
+    assert sup.seed_arity == 0
+    db = Database()
+    db.load("par", [("a", "b"), ("b", "c"), ("x", "c")])
+    res = evaluate_program(db, sup.program, seeds={sup.seed_predicate: {()}})
+    reference = evaluate_program(db, parse_program(ANC))["anc"]
+    assert res[sup.answer_predicate] == reference
+
+
 @settings(max_examples=20, deadline=None)
 @given(st.integers(0, 10_000))
 def test_magic_equivalence_random_dags(seed):

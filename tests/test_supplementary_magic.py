@@ -94,6 +94,68 @@ def test_equivalent_on_random_dags(seed):
     assert got_b[basic.answer_predicate] == got_s[sup.answer_predicate]
 
 
+NONLINEAR_STRUCT = """
+sg(X, Y) <- up(X, pair(X1, X2)), sg(X1, Z1), sg(X2, Z2), glue(Z1, Z2, Y).
+sg(X, Y) <- flat(X, Y).
+"""
+
+STRUCT_FACTS = """
+up(r0, pair(a, b)).
+up(a, pair(b, c)).
+flat(b, m).
+flat(c, n).
+glue(m, n, r1).
+glue(r1, m, r2).
+"""
+
+
+def struct_db():
+    from repro.storage.loader import load_facts_text
+
+    db = Database()
+    load_facts_text(db, STRUCT_FACTS)
+    return db
+
+
+def test_supplementary_struct_sip_prefix_structure():
+    """The SIP prefix of the second clique literal binds X1/X2 only by
+    decomposing pair(X1, X2) — the pre_vars projection must carry the
+    struct-extracted variables through the supplementary predicates."""
+    ad = adorned(NONLINEAR_STRUCT, "sg")
+    sup = supplementary_magic_rewrite(ad)
+    sup_heads = [r.head for r in sup.program if r.head.predicate.startswith("sup1_")]
+    assert sup_heads, "second clique literal should produce a sup1_ state"
+    carried = {v.name.split("@")[0] for head in sup_heads for v in head.variables}
+    assert carried & {"X1", "X2", "Z1", "Z2"}
+
+
+def test_supplementary_equals_basic_on_nonlinear_struct_sip():
+    """Multi-clique-literal rule whose SIP prefix binds structured terms:
+    basic and supplementary magic must agree with the filtered bottom-up
+    extension for every seed."""
+    db = struct_db()
+    ad = adorned(NONLINEAR_STRUCT, "sg")
+    basic = magic_rewrite(ad)
+    sup = supplementary_magic_rewrite(ad)
+    reference = evaluate_program(db, parse_program(NONLINEAR_STRUCT))["sg"]
+    assert reference  # the instance actually derives through the struct rule
+    for node in ("r0", "a", "b", "zzz"):
+        seed = Constant(node)
+        got_b = evaluate_program(
+            db, basic.program, seeds={basic.seed_predicate: {(seed,)}}
+        )[basic.answer_predicate]
+        got_s = evaluate_program(
+            db, sup.program, seeds={sup.seed_predicate: {(seed,)}}
+        )[sup.answer_predicate]
+        # magic answers cover every *asked* subquery, so filter to the
+        # seed binding for the equality and check soundness overall
+        expected = {r for r in reference if r[0] == seed}
+        assert {r for r in got_b if r[0] == seed} == expected
+        assert {r for r in got_s if r[0] == seed} == expected
+        assert got_b <= reference and got_s <= reference
+        assert got_b == got_s
+
+
 def test_optimizer_can_choose_supplementary():
     from repro import KnowledgeBase, OptimizerConfig
 

@@ -83,6 +83,39 @@ def test_negation():
     assert values(got) == {("b",)}
 
 
+def test_negation_over_incomplete_recursive_table_is_sound():
+    # Minimized differential reproducer (repro.testing shrinker): the
+    # left-recursive q tables are still growing when ~q(a, X) is first
+    # tested, so the unfixed engine let the negation succeed for the
+    # not-yet-derived pair (a, d) and parked p(d) in the table forever.
+    db = Database()
+    db.load("edge", [("a", "b"), ("b", "c"), ("c", "d")])
+    db.load("node", [("a",), ("b",), ("c",), ("d",)])
+    program = """
+    q(X, Y) <- q(X, Z), edge(Z, Y).
+    q(X, Y) <- edge(X, Y).
+    p(X) <- node(X), ~q(a, X).
+    """
+    reference = evaluate_program(db, parse_program(program))["p"]
+    assert solve(db, program, "p(X)") == reference
+    assert values(reference) == {("a",)}
+
+
+def test_negation_over_recursive_predicate_matches_bottom_up():
+    # Stratified negation over a whole recursive stratum, free query:
+    # unreached(X, Y) holds for node pairs with no path between them.
+    db = Database()
+    names = random_dag(db, "edge", nodes=8, edges=12, seed=7)
+    db.load("node", [(n,) for n in names])
+    program = """
+    path(X, Y) <- edge(X, Y).
+    path(X, Y) <- path(X, Z), edge(Z, Y).
+    unreached(X, Y) <- node(X), node(Y), ~path(X, Y).
+    """
+    reference = evaluate_program(db, parse_program(program))["unreached"]
+    assert solve(db, program, "unreached(X, Y)") == reference
+
+
 def test_negation_unbound_raises():
     db = Database()
     db.load("node", [("a",)])
@@ -129,9 +162,63 @@ def test_tabled_equals_bottom_up_on_random_dags(seed):
     assert got == {r for r in reference if str(r[0]) == names[0]}
 
 
+def test_aborted_expansion_does_not_poison_tables():
+    # Minimized differential reproducer (repro.testing shrinker): a fault
+    # injected during the recursive expansion of path/2 used to leave the
+    # partially-filled table marked complete, so later reads on the same
+    # engine silently returned short answers.
+    from repro.engine.faults import FaultInjector
+    from repro.engine.governor import ResourceGovernor
+
+    db = Database()
+    db.load("edge", [("a", "b"), ("b", "c"), ("c", "d"), ("d", "e")])
+    program = parse_program(
+        "path(X, Y) <- edge(X, Y). path(X, Y) <- path(X, Z), edge(Z, Y)."
+    )
+    injector = FaultInjector()
+    injector.inject(site="sld:path", after=1, times=1)
+    engine = TopDownEngine(db, program, governor=ResourceGovernor(faults=injector))
+    goal = parse_literal("path(a, Y)")
+    with pytest.raises(ExecutionError):
+        engine.solve(goal)
+    # the partial table must have rolled back its completion mark
+    assert not any(table.complete for table in engine._tables.values())
+    # and a retry on the same engine must deliver the full answer set
+    reference = evaluate_program(db, program)["path"]
+    assert engine.solve(goal) == {r for r in reference if str(r[0]) == "a"}
+
+
 def test_profiler_counts_work():
     db = family_db()
     profiler = Profiler()
     engine = TopDownEngine(db, parse_program(RIGHT_ANC), profiler=profiler)
     engine.solve(parse_literal("anc(abe, Y)"))
     assert profiler.total_work > 0
+
+
+def test_unsafe_rule_raises_instead_of_hanging():
+    """A head variable the body never binds must raise, not loop.
+
+    Found by the differential shrinker: the head-merge used one-way
+    match(), whose ground-side contract breaks on an unbound head
+    variable — it wrote a self-referential binding (X -> X) and every
+    later substitution walk spun forever.  The engine must instead
+    report the same unsafe-execution diagnosis as the bottom-up engines.
+    """
+    db = Database()
+    db.load("e0", [("d0", "d1"), ("d1", "d2"), ("d2", "d3")])
+    db.load("node", [("d0",)])
+    unsafe = """
+    n1(X, Y) <- node(Y), ~p0(d2, Y).
+    top(X, Y) <- n1(X, Y).
+    """
+    # right-recursive p0 so the tabling=False run reaches the unsafe rule
+    # instead of dying on left recursion first
+    for recursive, tabling in [
+        ("p0(X, Y) <- p0(X, Z), e0(Z, Y).", True),
+        ("p0(X, Y) <- e0(X, Z), p0(Z, Y).", True),
+        ("p0(X, Y) <- e0(X, Z), p0(Z, Y).", False),
+    ]:
+        program = f"p0(X, Y) <- e0(X, Y). {recursive} {unsafe}"
+        with pytest.raises(ExecutionError, match="not fully bound"):
+            solve(db, program, "top(X, Y)", tabling=tabling)
