@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Print the BENCH_PR*.json perf trajectory side by side.
+
+Each PR's benchmark run leaves a ``BENCH_PR<n>.json`` at the repository
+root (see ``run_bench.py``); this script lines their summaries and
+shared workloads up so a reviewer can see the trend without diffing
+JSON.  Reports evolve — columns a PR did not measure print as ``-``
+rather than failing:
+
+    PYTHONPATH=src python benchmarks/compare_bench.py
+    PYTHONPATH=src python benchmarks/compare_bench.py BENCH_A.json BENCH_B.json
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: (report key in summary, column header, format)
+SUMMARY_COLUMNS = [
+    ("geomean_speedup", "speedup", "{:.2f}x"),
+    ("geomean_work_ratio", "work", "{:.2f}x"),
+    ("geomean_batch_speedup", "batch", "{:.2f}x"),
+    ("geomean_batch_speedup_exp9", "batch@9", "{:.2f}x"),
+    ("warm_cache_speedup", "warm", "{:.0f}x"),
+    ("weighted_traced_off_overhead", "ovh", "{:.3f}x"),
+    ("geomean_tracer_overhead", "trace", "{:.3f}x"),
+]
+
+
+def _bench_paths(argv: list[str]) -> list[Path]:
+    if argv:
+        return [Path(a) for a in argv]
+
+    def order(path: Path) -> tuple:
+        match = re.search(r"PR(\d+)", path.name)
+        return (int(match.group(1)) if match else 0, path.name)
+
+    return sorted(REPO_ROOT.glob("BENCH_PR*.json"), key=order)
+
+
+def _cell(summary: dict, key: str, fmt: str) -> str:
+    value = summary.get(key)
+    return fmt.format(value) if isinstance(value, (int, float)) else "-"
+
+
+def main(argv: list[str] | None = None) -> int:
+    paths = _bench_paths(sys.argv[1:] if argv is None else argv)
+    if not paths:
+        print("no BENCH_PR*.json found", file=sys.stderr)
+        return 1
+    reports = []
+    for path in paths:
+        try:
+            reports.append((path.name, json.loads(path.read_text())))
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"skipping {path}: {err}", file=sys.stderr)
+    if not reports:
+        return 1
+
+    # ---- summary trajectory
+    headers = ["report", "mode"] + [h for _, h, _ in SUMMARY_COLUMNS]
+    rows = [
+        [name, report.get("mode", "-")]
+        + [
+            _cell(report.get("summary", {}), key, fmt)
+            for key, _, fmt in SUMMARY_COLUMNS
+        ]
+        for name, report in reports
+    ]
+    widths = [max(len(h), *(len(r[i]) for r in rows)) for i, h in enumerate(headers)]
+    print("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+
+    # ---- per-workload compiled wall times across reports
+    walls: dict[str, dict[str, float]] = {}
+    for name, report in reports:
+        for workload in report.get("workloads", []):
+            wall = workload.get("compiled", {}).get("wall_s")
+            if wall is not None:
+                walls.setdefault(workload["workload"], {})[name] = wall
+    shared = {w: per for w, per in walls.items() if len(per) > 1}
+    if shared:
+        print()
+        names = [name for name, _ in reports]
+        width = max(len(w) for w in shared)
+        print("workload".ljust(width) + "  " + "  ".join(n.ljust(15) for n in names))
+        for workload in sorted(shared):
+            cells = [
+                f"{shared[workload][n] * 1e3:10.2f}ms" if n in shared[workload] else "-"
+                for n in names
+            ]
+            print(workload.ljust(width) + "  " + "  ".join(c.ljust(15) for c in cells))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

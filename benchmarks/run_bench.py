@@ -1,9 +1,11 @@
 #!/usr/bin/env python
-"""Replay the EXP workloads compiled vs. uncompiled and record the trajectory.
+"""Replay the EXP workloads across engine tiers and record the trajectory.
 
-Runs the evaluation hot path per workload in four configurations — the
-default engine (kernel compiler + incremental delta indexing + resource
-governor, tracing off), the same engine with governance disabled
+Runs the evaluation hot path per workload in five configurations — the
+default engine (columnar batch tier + kernel compiler + incremental
+delta indexing + resource governor, tracing off), the same engine with
+the batch tier disabled (``batch=False``: the PR3 compiled-row
+baseline), the default engine with governance disabled
 (``governor=False``), the default engine with a live span
 :class:`~repro.obs.tracer.Tracer` attached, and the ``compile=False``
 interpreted reference path — verifies all produce identical answers,
@@ -14,6 +16,7 @@ per-workload profiler and metrics snapshots, and the overhead ratios:
     PYTHONPATH=src python benchmarks/run_bench.py --smoke    # CI-sized
     PYTHONPATH=src python benchmarks/run_bench.py --out path.json
     PYTHONPATH=src python benchmarks/run_bench.py --max-overhead 1.03
+    PYTHONPATH=src python benchmarks/run_bench.py --min-warm-speedup 5
 
 ``--max-overhead`` turns the run into a gate: exit 1 if the
 default/ungoverned wall ratio (*traced-off overhead*: every
@@ -24,9 +27,16 @@ per-workload ratio is the median of pairwise same-round ratios, then
 the gate averages them with wall-time weights, so machine-speed drift
 cancels and the second-scale recursion workloads carry the verdict.
 ``tracer_overhead`` (tracing actually ON) is recorded informationally.
+``batch_speedup`` (row wall / batch wall) is the PR5 A/B: the summary
+reports its geomean overall and over the EXP-9 large-delta family.
 
-The default output is ``BENCH_PR3.json`` at the repository root; later
-PRs bump the suffix so the perf trajectory stays reviewable in-tree.
+``--min-warm-speedup`` gates the warm-cache workload: a repeated query
+against an unchanged database must be served from the cross-query
+result cache at least that many times faster than the cold run.
+
+The default output is ``BENCH_PR5.json`` at the repository root; later
+PRs bump the suffix so the perf trajectory stays reviewable in-tree
+(``benchmarks/compare_bench.py`` prints the BENCH_PR*.json series).
 """
 
 from __future__ import annotations
@@ -67,13 +77,15 @@ class _Arm:
     Tracer (no sink): the cost of tracing actually being ON.
     """
 
-    def __init__(self, kb, compiled, bindings, compile=True, governed=True, traced=False):
+    def __init__(self, kb, compiled, bindings, compile=True, governed=True,
+                 traced=False, batch=True):
         self.kb = kb
         self.compiled = compiled
         self.bindings = bindings
         self.compile = compile
         self.governed = governed
         self.traced = traced
+        self.batch = batch
         self.best_wall = float("inf")
         self.walls: list[float] = []
         self.work = 0
@@ -87,7 +99,8 @@ class _Arm:
         kwargs = {"tracer": tracer} if tracer is not None else {}
         interpreter = Interpreter(
             self.kb.db, profiler=profiler, builtins=self.kb.builtins,
-            compile=self.compile, governor=None if self.governed else False,
+            compile=self.compile, batch=self.batch,
+            governor=None if self.governed else False,
             metrics=self.kb.metrics, **kwargs,
         )
         start = time.perf_counter()
@@ -117,6 +130,7 @@ def bench_workload(name: str, kb: KnowledgeBase, query: str, repeats: int, **bin
     compiled_form = kb.compile(query)
     arms = {
         "compiled": _Arm(kb, compiled_form, bindings),
+        "row": _Arm(kb, compiled_form, bindings, batch=False),
         "ungoverned": _Arm(kb, compiled_form, bindings, governed=False),
         "traced": _Arm(kb, compiled_form, bindings, traced=True),
         "uncompiled": _Arm(kb, compiled_form, bindings, compile=False),
@@ -131,6 +145,7 @@ def bench_workload(name: str, kb: KnowledgeBase, query: str, repeats: int, **bin
         for arm in arms.values():
             arm.run_once()
     compiled_stats = arms["compiled"].stats()
+    row_stats = arms["row"].stats()
     ungoverned_stats = arms["ungoverned"].stats()
     traced_stats = arms["traced"].stats()
     baseline_stats = arms["uncompiled"].stats()
@@ -145,18 +160,24 @@ def bench_workload(name: str, kb: KnowledgeBase, query: str, repeats: int, **bin
     # compare runs taken seconds apart and flap by ±10% under load.)
     traced_off = _median_ratio(arms["compiled"].walls, arms["ungoverned"].walls)
     tracer_on = _median_ratio(arms["traced"].walls, arms["compiled"].walls)
+    # PR5 A/B: columnar batch tier (default) vs the compiled row kernels
+    batch_speedup = _median_ratio(arms["row"].walls, arms["compiled"].walls)
     entry = {
         "workload": name,
         "query": query,
         "answers": len(compiled_answers),
         "results_match": match,
         "compiled": compiled_stats,
+        "row": row_stats,
         "ungoverned": ungoverned_stats,
         "traced": traced_stats,
         "uncompiled": baseline_stats,
         "metrics": kb.metrics.snapshot(),
         "speedup": baseline_stats["wall_s"] / max(compiled_stats["wall_s"], 1e-9),
         "work_ratio": baseline_stats["total_work"] / max(compiled_stats["total_work"], 1),
+        # batch tier vs row kernels, same compile pipeline (median of
+        # pairwise same-round ratios, like the overhead numbers)
+        "batch_speedup": batch_speedup,
         # default engine (hooks present, tracing OFF) vs the stripped
         # ungoverned path: the gated "traced-off" instrumentation cost
         "traced_off_overhead": traced_off,
@@ -168,6 +189,7 @@ def bench_workload(name: str, kb: KnowledgeBase, query: str, repeats: int, **bin
     print(
         f"  {name:<28} {entry['speedup']:>6.2f}x wall "
         f"({baseline_stats['wall_s'] * 1e3:8.2f}ms -> {compiled_stats['wall_s'] * 1e3:8.2f}ms)  "
+        f"batch {entry['batch_speedup']:>5.2f}x  "
         f"off {entry['traced_off_overhead']:>5.3f}x  "
         f"on {entry['tracer_overhead']:>5.3f}x  "
         f"work {baseline_stats['total_work']:>8} -> {compiled_stats['total_work']:>8}  [{status}]"
@@ -228,13 +250,56 @@ def exp7_bom(assemblies: int, depth: int, fanout: int, repeats: int) -> dict:
     )
 
 
+def warm_cache_workload(n: int, repeats: int) -> dict:
+    """Repeated-query workload for the cross-query result cache: one cold
+    ``ask`` populates the cache, then the same query repeats against the
+    unchanged database and must be served without re-running a fixpoint."""
+    kb = KnowledgeBase(OptimizerConfig(recursive_methods=("seminaive",)))
+    kb.rules(ANC)
+    kb.facts("par", [(f"n{i}", f"n{i + 1}") for i in range(n)])
+    query = "anc($X, Y)?"
+    start = time.perf_counter()
+    cold = kb.ask(query, X="n0")
+    cold_wall = time.perf_counter() - start
+    warm_walls = []
+    for _ in range(max(repeats, 3)):
+        start = time.perf_counter()
+        warm = kb.ask(query, X="n0")
+        warm_walls.append(time.perf_counter() - start)
+    warm_wall = sorted(warm_walls)[len(warm_walls) // 2]
+    hits = sum(
+        c["value"] for c in kb.metrics.snapshot()["counters"]
+        if c["name"] == "result_cache_hits_total"
+    )
+    entry = {
+        "workload": f"warm_cache_chain_n{n}",
+        "query": query,
+        "answers": len(cold.to_python()),
+        "results_match": warm is cold,  # the memoized object, verbatim
+        "cold_wall_s": cold_wall,
+        "warm_wall_s": warm_wall,
+        "warm_speedup": cold_wall / max(warm_wall, 1e-9),
+        "result_cache_hits": hits,
+    }
+    print(
+        f"  {entry['workload']:<28} warm {entry['warm_speedup']:>8.1f}x "
+        f"({cold_wall * 1e3:8.2f}ms cold -> {warm_wall * 1e6:8.1f}us warm)  "
+        f"hits {hits}  [{'ok' if entry['results_match'] else 'MISMATCH'}]"
+    )
+    return entry
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true", help="small sizes (CI)")
-    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_PR3.json"))
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_PR5.json"))
     parser.add_argument("--max-overhead", type=float, default=None,
                         help="fail if geomean default/ungoverned wall "
                              "(traced-off instrumentation overhead) exceeds this")
+    parser.add_argument("--min-warm-speedup", type=float, default=None,
+                        help="fail if the warm-cache workload's cached "
+                             "repeat is not at least this much faster "
+                             "than its cold run")
     args = parser.parse_args(argv)
 
     repeats = 3 if args.smoke else 5
@@ -253,18 +318,31 @@ def main(argv: list[str] | None = None) -> int:
         workloads.append(exp7_same_generation(3, 4, repeats))
         workloads.append(exp7_bom(16, 4, 3, repeats))
 
+    warm = warm_cache_workload(60 if args.smoke else 200, repeats)
+
     mismatches = [w["workload"] for w in workloads if not w["results_match"]]
+    if not warm["results_match"]:
+        mismatches.append(warm["workload"])
     slower = [w["workload"] for w in workloads if w["speedup"] < 1.0]
     more_work = [w["workload"] for w in workloads if w["work_ratio"] < 1.0]
+    exp9 = [w for w in workloads if w["workload"].startswith("exp9")]
 
     report = {
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "mode": "smoke" if args.smoke else "full",
         "repeats": repeats,
         "workloads": workloads,
+        "warm_cache": warm,
         "summary": {
             "geomean_speedup": _geomean([w["speedup"] for w in workloads]),
             "geomean_work_ratio": _geomean([w["work_ratio"] for w in workloads]),
+            "geomean_batch_speedup": _geomean(
+                [w["batch_speedup"] for w in workloads]
+            ),
+            "geomean_batch_speedup_exp9": _geomean(
+                [w["batch_speedup"] for w in exp9]
+            ),
+            "warm_cache_speedup": warm["warm_speedup"],
             "geomean_traced_off_overhead": _geomean(
                 [w["traced_off_overhead"] for w in workloads]
             ),
@@ -292,6 +370,9 @@ def main(argv: list[str] | None = None) -> int:
     print(
         f"wrote {out_path} — geomean speedup "
         f"{report['summary']['geomean_speedup']:.2f}x, "
+        f"batch/row {report['summary']['geomean_batch_speedup']:.2f}x "
+        f"({report['summary']['geomean_batch_speedup_exp9']:.2f}x on exp9), "
+        f"warm cache {report['summary']['warm_cache_speedup']:.0f}x, "
         f"work ratio {report['summary']['geomean_work_ratio']:.2f}x, "
         f"traced-off overhead {overhead:.3f}x weighted "
         f"({report['summary']['geomean_traced_off_overhead']:.3f}x geomean), "
@@ -304,6 +385,16 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"TRACED-OFF OVERHEAD {overhead:.3f}x exceeds bound "
             f"{args.max_overhead:.3f}x",
+            file=sys.stderr,
+        )
+        return 1
+    if (
+        args.min_warm_speedup is not None
+        and warm["warm_speedup"] < args.min_warm_speedup
+    ):
+        print(
+            f"WARM-CACHE SPEEDUP {warm['warm_speedup']:.1f}x below bound "
+            f"{args.min_warm_speedup:.1f}x",
             file=sys.stderr,
         )
         return 1

@@ -105,6 +105,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="query-wide live-tuple budget (exit code 5 on expiry)")
     parser.add_argument("--max-memory", type=int, default=None, metavar="BYTES",
                         help="approximate query-wide memory budget in bytes")
+    parser.add_argument("--no-batch", action="store_true",
+                        help="disable the columnar batch execution tier "
+                             "(row kernels only; see docs/performance.md)")
+    parser.add_argument("--no-result-cache", action="store_true",
+                        help="disable the cross-query result cache")
     parser.add_argument("-i", "--interactive", action="store_true",
                         help="drop into a REPL after loading files")
     return parser
@@ -202,7 +207,11 @@ def repl(kb: KnowledgeBase, args, stdin: IO[str], out: IO[str], tracer=NULL_TRAC
 def main(argv: Sequence[str] | None = None, stdin: IO[str] | None = None, stdout: IO[str] | None = None) -> int:
     out = stdout or sys.stdout
     args = build_parser().parse_args(argv)
-    kb = KnowledgeBase(OptimizerConfig(strategy=args.strategy))
+    kb = KnowledgeBase(
+        OptimizerConfig(strategy=args.strategy),
+        batch=not args.no_batch,
+        result_cache=not args.no_result_cache,
+    )
     try:
         load_files(kb, args.files, out)
     except OSError as err:

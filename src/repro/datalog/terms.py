@@ -125,13 +125,20 @@ def term_from_python(obj: object) -> Term:
     Scalars become :class:`Constant`; lists/tuples become ``cons`` lists.
     Terms pass through unchanged, which lets user code mix plain values
     and explicit terms freely when stating facts.
+
+    Lifted values are *interned* (:mod:`repro.datalog.intern`): equal
+    scalars share one canonical :class:`Constant` instance, so hot-loop
+    equality on loaded data short-circuits on identity.  Explicit terms
+    are not forced through the interner — they may contain variables.
     """
     if is_term(obj):
         return obj  # type: ignore[return-value]
+    from .intern import intern_term
+
     if isinstance(obj, (list, tuple)):
-        return make_list(term_from_python(x) for x in obj)
+        return intern_term(make_list(term_from_python(x) for x in obj))
     if isinstance(obj, (int, float, str, bool)):
-        return Constant(obj)
+        return intern_term(Constant(obj))
     raise TypeError(f"cannot lift {obj!r} ({type(obj).__name__}) into a term")
 
 

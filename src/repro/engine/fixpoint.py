@@ -108,6 +108,12 @@ class FixpointEngine:
         extensions keep persistent incrementally-maintained indexes;
         when False every round re-derives body orders and layouts — the
         uncompiled escape hatch kept for A/B measurement.
+    batch / batch_min_rows:
+        The columnar batch tier (:mod:`repro.engine.batch`): flat rules
+        whose driving input is at least *batch_min_rows* rows execute
+        over interned id columns, whole deltas per Python-level call.
+        Requires ``compile``; ``batch=False`` is the row-tier escape
+        hatch mirroring ``compile=False``.
     """
 
     def __init__(
@@ -120,6 +126,8 @@ class FixpointEngine:
         reorder_bodies: bool = True,
         builtins: "BuiltinRegistry | None" = None,
         compile: bool = True,
+        batch: bool = True,
+        batch_min_rows: int = 32,
         governor: "ResourceGovernor | None | bool" = None,
         tracer=NULL_TRACER,
         metrics=None,
@@ -159,6 +167,16 @@ class FixpointEngine:
             reorder=reorder_bodies, oracle=self._oracle, builtins=builtins,
             metrics=metrics,
         )
+        #: Columnar batch tier (requires compiled kernels as the fallback
+        #: and the source of the shared plan/label layout).
+        self.batch = batch and compile
+        self.batch_min_rows = batch_min_rows
+        if self.batch:
+            from .batch import BatchExecutor
+
+            self._batch_exec: "BatchExecutor | None" = BatchExecutor()
+        else:
+            self._batch_exec = None
 
     # -- extensions ----------------------------------------------------------
 
@@ -271,15 +289,33 @@ class FixpointEngine:
             span.note(compiled=self.compile, delta=delta_literal is not None)
             if self.compile:
                 compiled = self._kernels.get(rule)
+                delta_position = (
+                    compiled.delta_position(delta_literal)
+                    if delta_literal is not None
+                    else None
+                )
+                if self._batch_exec is not None:
+                    plan = self._kernels.get_batch(rule)
+                    if plan is not None and self._batch_input_size(
+                        compiled, workspace, derived, delta_rows
+                    ) >= self.batch_min_rows:
+                        span.note(tier="batch")
+                        if self.metrics is not None:
+                            self.metrics.inc("batch_rules_total")
+                        return self._batch_exec.execute(
+                            plan,
+                            lambda literal: self._extension(literal, workspace, derived),
+                            self.profiler,
+                            delta_position=delta_position,
+                            delta_rows=delta_rows,
+                            governor=self.governor,
+                            tracer=self.tracer,
+                        )
                 return compiled.execute(
                     lambda literal: self._extension(literal, workspace, derived),
                     self.method_chooser,
                     self.profiler,
-                    delta_position=(
-                        compiled.delta_position(delta_literal)
-                        if delta_literal is not None
-                        else None
-                    ),
+                    delta_position=delta_position,
                     delta_rows=delta_rows,
                     governor=self.governor,
                     tracer=self.tracer,
@@ -302,6 +338,32 @@ class FixpointEngine:
                     table, rule.head, self.profiler, governor=self.governor
                 )
             return head_rows(table, rule.head, self.profiler, governor=self.governor)
+
+    def _batch_input_size(
+        self,
+        compiled,
+        workspace: Mapping[str, set[Row]],
+        derived: frozenset[PredicateRef],
+        delta_rows: Iterable[Row] | None,
+    ) -> int:
+        """Cost proxy for row-vs-batch tier selection.
+
+        Semi-naive delta rounds are driven by the delta's size; full
+        evaluations by the largest extension the body touches.  Small
+        inputs stay on the row tier — per-batch setup (column gathers,
+        selection vectors) only pays for itself on bulk rounds.
+        """
+        if delta_rows is not None:
+            return len(delta_rows)
+        size = 0
+        try:
+            for step in compiled.steps:
+                size = max(size, len(self._extension(step.literal, workspace, derived)))
+        except ExecutionError:
+            # Unknown predicate etc.: force the row tier so the error is
+            # raised inside the proper operator span.
+            return -1
+        return size
 
     # -- the fixpoint ------------------------------------------------------------
 

@@ -98,6 +98,8 @@ class Interpreter:
         max_tuples: int = 5_000_000,
         builtins=None,
         compile: bool = True,
+        batch: bool = True,
+        batch_min_rows: int = 32,
         deadline_seconds: float | None = None,
         max_memory_bytes: int | None = None,
         governor: "ResourceGovernor | None | bool" = None,
@@ -134,6 +136,10 @@ class Interpreter:
         #: Lower fixpoint rules into execution kernels (False = the
         #: uncompiled reference path, kept for A/B measurement).
         self.compile = compile
+        #: Columnar batch tier for fixpoints (see repro.engine.batch);
+        #: batch=False is the row-tier escape hatch.
+        self.batch = batch
+        self.batch_min_rows = batch_min_rows
         self._cache: dict[tuple[int, Keys], frozenset[Row]] = {}
         #: per-plan-node measured execution stats (id(node) -> counters),
         #: consumed by EXPLAIN ANALYZE
@@ -326,6 +332,8 @@ class Interpreter:
             max_tuples=self.max_tuples,
             builtins=self.builtins,
             compile=self.compile,
+            batch=self.batch,
+            batch_min_rows=self.batch_min_rows,
             # Share the query-wide governor; an explicitly ungoverned
             # interpreter keeps its fixpoints ungoverned too (rather than
             # letting FixpointEngine build its own default).

@@ -462,6 +462,8 @@ class KernelCache:
         self.builtins = builtins
         self.metrics = metrics
         self._compiled: dict[int, CompiledRule] = {}
+        #: id(rule) -> BatchPlan | None (None caches "not batchable").
+        self._batch_plans: dict[int, object] = {}
 
     def get(self, rule: Rule) -> CompiledRule:
         compiled = self._compiled.get(id(rule))
@@ -473,6 +475,20 @@ class KernelCache:
             if self.metrics is not None:
                 self.metrics.inc("kernel_compiles_total")
         return compiled
+
+    def get_batch(self, rule: Rule):
+        """The rule's columnar batch plan, or None when not batchable
+        (negation, comparisons, builtins, aggregates, complex terms)."""
+        key = id(rule)
+        if key in self._batch_plans:
+            return self._batch_plans[key]
+        from .batch import compile_batch_plan
+
+        plan = compile_batch_plan(self.get(rule))
+        self._batch_plans[key] = plan
+        if plan is not None and self.metrics is not None:
+            self.metrics.inc("batch_plan_compiles_total")
+        return plan
 
     def __len__(self) -> int:
         return len(self._compiled)

@@ -60,6 +60,32 @@ class BindingsTable:
     def from_rows(cls, schema: Sequence[Variable], rows: Iterable[Row]) -> "BindingsTable":
         return cls(tuple(schema), frozenset(rows))
 
+    @classmethod
+    def from_columns(
+        cls,
+        schema: Sequence[Variable],
+        columns: Sequence[Sequence[int]],
+        length: int,
+        interner,
+    ) -> "BindingsTable":
+        """Decode a columnar batch (parallel columns of interned term ids,
+        see :mod:`repro.engine.batch`) into a row table.
+
+        The bridge between the tiers: batch intermediates are id columns,
+        row intermediates are term-tuple sets.  *length* is explicit
+        because a zero-width batch has rows but no columns.
+        """
+        if not columns:
+            rows: Iterable[Row] = [()] if length else []
+            return cls(tuple(schema), frozenset(rows))
+        terms = interner.terms
+        return cls(
+            tuple(schema),
+            frozenset(
+                tuple(terms[i] for i in id_row) for id_row in zip(*columns)
+            ),
+        )
+
     def __len__(self) -> int:
         return len(self.rows)
 

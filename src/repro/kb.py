@@ -40,18 +40,47 @@ from .storage.loader import load_facts_text
 
 
 class KnowledgeBase:
-    """Rules + facts + optimizer + engine, with per-query-form caching."""
+    """Rules + facts + optimizer + engine, with per-query-form caching.
 
-    def __init__(self, config: OptimizerConfig | None = None):
+    *batch* / *batch_min_rows* control the columnar batch execution tier
+    (:mod:`repro.engine.batch`); ``batch=False`` is the row-tier escape
+    hatch mirroring the engine's ``compile=False``.
+
+    *result_cache* enables the cross-query result cache: a repeat of an
+    identical query (same goal, same adornment, same ``$``-bindings)
+    against an unchanged fact base is served from the cache without
+    touching the engine.  Freshness is keyed on the database's relation
+    version vector, so any insert or retract anywhere invalidates
+    exactly by changing the key.  Queries run with an explicit profiler,
+    governor, or tracer bypass the cache — those arguments signal that
+    the caller wants a measured / governed / traced *execution*, and a
+    hit would observably change what they record.
+    """
+
+    def __init__(
+        self,
+        config: OptimizerConfig | None = None,
+        *,
+        batch: bool = True,
+        batch_min_rows: int = 32,
+        result_cache: bool = True,
+        result_cache_size: int = 256,
+    ):
         from .datalog.builtins import default_builtins
 
         self.db = Database()
         self.config = config or OptimizerConfig()
         self.builtins = default_builtins()
+        self.batch = batch
+        self.batch_min_rows = batch_min_rows
         self._rules: list[Rule] = []
         self._optimizer: Optimizer | None = None
         self._compiled: dict[tuple[str, str], OptimizedQuery] = {}
         self._views = None  # ViewSet, when materialize() has been called
+        self._result_cache: "dict[tuple, QueryAnswers] | None" = (
+            {} if result_cache else None
+        )
+        self._result_cache_size = result_cache_size
         #: cross-query observability aggregates (plan-cache hit rate,
         #: governor denials, kernel compiles, ...); exportable via
         #: ``metrics.to_json()`` / ``metrics.to_prometheus_text()``
@@ -176,6 +205,11 @@ class KnowledgeBase:
     def _invalidate(self, keep_views: bool = False) -> None:
         self._optimizer = None
         self._compiled.clear()
+        if self._result_cache is not None:
+            # The version-vector key already fences data changes; this
+            # clear covers rule/builtin changes, which the vector cannot
+            # see, and keeps the cache from accumulating dead entries.
+            self._result_cache.clear()
         if not keep_views:
             self._views = None
 
@@ -249,6 +283,7 @@ class KnowledgeBase:
             root.note(goal=str(compiled.query.goal))
             interpreter = Interpreter(
                 self.db, profiler=profiler, builtins=self.builtins,
+                batch=self.batch, batch_min_rows=self.batch_min_rows,
                 tracer=tracer, metrics=self.metrics,
             )
             answers = interpreter.run(compiled.plan, compiled.query, **bindings)
@@ -289,6 +324,12 @@ class KnowledgeBase:
         optimize phases, every plan node, operator, and fixpoint round.
         """
         self.metrics.inc("queries_total")
+        cacheable = (
+            self._result_cache is not None
+            and profiler is None
+            and governor is None
+            and not tracer.enabled
+        )
         profiler = profiler or Profiler()
         # Attach before opening the root span: attach only takes effect
         # between span trees, so counter deltas cover the whole query.
@@ -303,11 +344,43 @@ class KnowledgeBase:
             if self._views is not None and form.predicate in self._views:
                 return self._answer_from_view(form, profiler, bindings)
             compiled = self.compile(form, tracer=tracer)
+            cache_key = self._result_cache_key(form, bindings) if cacheable else None
+            if cache_key is not None:
+                hit = self._result_cache.get(cache_key)
+                if hit is not None:
+                    self.metrics.inc("result_cache_hits_total")
+                    return hit
+                self.metrics.inc("result_cache_misses_total")
             interpreter = Interpreter(
                 self.db, profiler=profiler, builtins=self.builtins,
+                batch=self.batch, batch_min_rows=self.batch_min_rows,
                 governor=governor, tracer=tracer, metrics=self.metrics,
             )
-            return interpreter.run(compiled.plan, compiled.query, **bindings)
+            answers = interpreter.run(compiled.plan, compiled.query, **bindings)
+            if cache_key is not None:
+                cache = self._result_cache
+                while len(cache) >= self._result_cache_size:
+                    cache.pop(next(iter(cache)))  # FIFO bound
+                cache[cache_key] = answers
+            return answers
+
+    def _result_cache_key(self, form: QueryForm, bindings: dict) -> tuple | None:
+        """(goal text, adornment, $-bindings, db version vector) — or None
+        when a binding value cannot be lifted into a hashable term."""
+        from .datalog.terms import term_from_python
+
+        try:
+            lifted = tuple(
+                (name, term_from_python(bindings[name])) for name in sorted(bindings)
+            )
+        except TypeError:
+            return None
+        return (
+            str(form.goal),
+            form.adornment.code,
+            lifted,
+            self.db.version_vector(),
+        )
 
     def _answer_from_view(self, form: QueryForm, profiler: Profiler, bindings: dict) -> QueryAnswers:
         """Answer a query form by filtering a materialized extension."""

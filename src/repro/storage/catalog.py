@@ -69,6 +69,19 @@ class Database:
     def names(self) -> frozenset[str]:
         return frozenset(self._relations)
 
+    def version_vector(self) -> tuple[tuple[str, int], ...]:
+        """Sorted ``(name, version)`` pairs over every relation.
+
+        Any insert, retract, or clear anywhere in the fact base changes
+        the vector (relations bump their version on every mutation, and
+        creating a relation adds an entry), so it is a sound freshness
+        key for cross-query result caching.
+        """
+        return tuple(
+            (name, self._relations[name].version)
+            for name in sorted(self._relations)
+        )
+
     # -- loading -----------------------------------------------------------
 
     def insert(self, name: str, row: Sequence[Term]) -> bool:

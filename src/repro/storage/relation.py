@@ -81,6 +81,7 @@ class Relation:
         self._indexes: dict[tuple[int, ...], HashIndex] = {}
         self._version = 0
         self._sorted = SortedOrderCache()
+        self._batch = None  # BatchStore, built lazily by batch_store()
 
     # -- loading ---------------------------------------------------------------
 
@@ -106,6 +107,8 @@ class Relation:
         self._version += 1
         for index in self._indexes.values():
             index.add(checked)
+        if self._batch is not None:
+            self._batch.append(checked)
         return True
 
     def insert_values(self, values: Sequence[object]) -> bool:
@@ -134,6 +137,9 @@ class Relation:
         self._version += 1
         for index in self._indexes.values():
             index.remove(checked)
+        # The columnar mirror is append-only; drop it and let the next
+        # batch join rebuild from the surviving rows.
+        self._batch = None
         return True
 
     def remove_values(self, values: Sequence[object]) -> bool:
@@ -145,6 +151,7 @@ class Relation:
         self._version += 1
         for index in self._indexes.values():
             index.clear()
+        self._batch = None
 
     # -- access ----------------------------------------------------------------
 
@@ -160,6 +167,15 @@ class Relation:
     @property
     def rows(self) -> frozenset[Row]:
         return frozenset(self._rows)
+
+    @property
+    def version(self) -> int:
+        """Monotone change counter: bumped by every insert/remove/clear.
+
+        The cross-query result cache keys on the database's version
+        vector, so retracts must advance this exactly as inserts do.
+        """
+        return self._version
 
     # -- indexing ----------------------------------------------------------------
 
@@ -209,6 +225,18 @@ class Relation:
             if tuple(row[p] for p in positions) == wanted:
                 yield row
 
+    def batch_store(self, interner) -> "BatchStore":
+        """The columnar id-encoded mirror of this relation (lazy, then
+        maintained incrementally by :meth:`insert`)."""
+        store = self._batch
+        if store is None or store.interner is not interner:
+            from .columnar import BatchStore
+
+            store = BatchStore(interner, self.arity)
+            store.extend(self._rows)
+            self._batch = store
+        return store
+
     # -- misc --------------------------------------------------------------------
 
     def copy(self, name: str | None = None) -> "Relation":
@@ -235,7 +263,10 @@ class DerivedRelation:
     them from already-checked data, so no per-insert validation is done.
     """
 
-    __slots__ = ("name", "_rows", "_indexes", "_sorted", "_version", "_frozen", "_frozen_version")
+    __slots__ = (
+        "name", "_rows", "_indexes", "_sorted", "_version",
+        "_frozen", "_frozen_version", "_batch",
+    )
 
     def __init__(self, name: str = "", rows: Iterable[Row] = ()):
         self.name = name
@@ -245,6 +276,7 @@ class DerivedRelation:
         self._version = 0
         self._frozen: frozenset[Row] | None = None
         self._frozen_version = -1
+        self._batch = None  # BatchStore, built lazily by batch_store()
 
     # -- set-like surface (what the fixpoint workspace uses) -------------------
 
@@ -256,6 +288,24 @@ class DerivedRelation:
         self._version += 1
         for index in self._indexes.values():
             index.add(row)
+        if self._batch is not None:
+            self._batch.append(row)
+        return True
+
+    def discard(self, row: Row) -> bool:
+        """Remove one tuple; returns True if it was present.
+
+        Invalidates exactly what :meth:`add` maintains: the version
+        counter (which the sorted-order cache and the result cache key
+        on), every persistent index, and the columnar mirror.
+        """
+        if row not in self._rows:
+            return False
+        self._rows.discard(row)
+        self._version += 1
+        for index in self._indexes.values():
+            index.remove(row)
+        self._batch = None
         return True
 
     def update(self, rows: Iterable[Row]) -> int:
@@ -283,6 +333,11 @@ class DerivedRelation:
             self._frozen_version = self._version
         return self._frozen
 
+    @property
+    def version(self) -> int:
+        """Monotone change counter (see :attr:`Relation.version`)."""
+        return self._version
+
     # -- physical access (what the join kernels use) ---------------------------
 
     def ensure_index(self, positions: Sequence[int]) -> HashIndex:
@@ -305,6 +360,17 @@ class DerivedRelation:
     ) -> tuple[list[tuple[tuple, Row]], bool]:
         """The extension sorted on *positions* (see :meth:`Relation.sorted_by`)."""
         return self._sorted.lookup(tuple(positions), self._version, self._rows, key_fn)
+
+    def batch_store(self, interner) -> "BatchStore":
+        """Columnar mirror, maintained incrementally by :meth:`add`."""
+        store = self._batch
+        if store is None or store.interner is not interner:
+            from .columnar import BatchStore
+
+            store = BatchStore(interner)
+            store.extend(self._rows)
+            self._batch = store
+        return store
 
     def __repr__(self) -> str:
         return f"DerivedRelation({self.name!r}, {len(self._rows)} tuples, {len(self._indexes)} indexes)"

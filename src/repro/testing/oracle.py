@@ -12,6 +12,11 @@ Strategy families:
 * ``fixpoint-interpreted`` / ``fixpoint-compiled`` / ``fixpoint-naive``
   — the bottom-up engine, with and without compiled join kernels and
   semi-naive deltas;
+* ``fixpoint-batch`` — the columnar batch tier
+  (:mod:`repro.engine.batch`) with its size threshold forced to zero so
+  every batchable rule actually takes the columnar path on the small
+  seeded corpus (``fixpoint-compiled`` pins ``batch=False``, so the two
+  strategies cover the row and batch tiers separately);
 * ``sld-tabled`` — the tabled top-down engine;
 * ``magic-basic`` / ``magic-supplementary`` — the rewrites applied
   *directly* (adorn + rewrite + seeded fixpoint), bypassing the
@@ -235,7 +240,10 @@ def run_kb(case: Case, config: OptimizerConfig) -> Answers:
 def _default_runners() -> dict[str, Callable[[Case], Answers]]:
     runners: dict[str, Callable[[Case], Answers]] = {
         "fixpoint-interpreted": partial(run_fixpoint, compile=False),
-        "fixpoint-compiled": partial(run_fixpoint, compile=True),
+        "fixpoint-compiled": partial(run_fixpoint, compile=True, batch=False),
+        "fixpoint-batch": partial(
+            run_fixpoint, compile=True, batch=True, batch_min_rows=0
+        ),
         "fixpoint-naive": partial(run_fixpoint, compile=False, naive=True),
         "sld-tabled": run_sld,
         "magic-basic": partial(run_direct_magic, rewrite=magic_rewrite),

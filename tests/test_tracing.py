@@ -239,14 +239,17 @@ def _histogram(snapshot, name):
 def test_metrics_aggregate_across_queries():
     kb = family_kb()
     kb.ask("anc(abe, Y)?")
-    kb.ask("anc(abe, Y)?")  # second run hits the plan cache
+    kb.ask("anc(abe, Y)?")  # second run hits the plan *and* result caches
     kb.ask("anc(homer, Y)?")
     snap = kb.metrics.snapshot()
     assert _counter(snap, "queries_total") == 3
     assert _counter(snap, "plan_cache_misses_total") == 2
     assert _counter(snap, "plan_cache_hits_total") == 1
     assert _counter(snap, "kernel_compiles_total") > 0
-    assert _histogram(snap, "fixpoint_rounds")["count"] == 3
+    assert _counter(snap, "result_cache_hits_total") == 1
+    # only two fixpoints actually ran: the repeated query was served
+    # from the result cache without touching the engine
+    assert _histogram(snap, "fixpoint_rounds")["count"] == 2
 
 
 def test_metrics_records_governor_denials():
