@@ -27,6 +27,7 @@ SUMMARY_COLUMNS = [
     ("geomean_batch_speedup", "batch", "{:.2f}x"),
     ("geomean_batch_speedup_exp9", "batch@9", "{:.2f}x"),
     ("warm_cache_speedup", "warm", "{:.0f}x"),
+    ("parallel_speedup", "par", "{:.2f}x"),
     ("weighted_traced_off_overhead", "ovh", "{:.3f}x"),
     ("geomean_tracer_overhead", "trace", "{:.3f}x"),
 ]

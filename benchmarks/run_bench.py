@@ -34,8 +34,16 @@ reports its geomean overall and over the EXP-9 large-delta family.
 against an unchanged database must be served from the cross-query
 result cache at least that many times faster than the cold run.
 
-The default output is ``BENCH_PR5.json`` at the repository root; later
-PRs bump the suffix so the perf trajectory stays reviewable in-tree
+``--min-parallel-speedup`` gates the PR6 *scale* workload — frontier
+reachability over a large random digraph, serial batch tier vs the
+hash-partitioned worker pool (``--parallel-workers``, default 4).  The
+gate is core-aware: wall-clock speedup from fan-out is only falsifiable
+when the machine actually has >= 2 cores; with fewer the speedup is
+recorded in the report informationally and the run still verifies
+answer parity.
+
+The default output is ``BENCH_PR6.json`` at the repository root; each
+PR bumps the suffix so the perf trajectory stays reviewable in-tree
 (``benchmarks/compare_bench.py`` prints the BENCH_PR*.json series).
 """
 
@@ -43,6 +51,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -57,6 +66,7 @@ from repro.workloads import (  # noqa: E402
     bill_of_materials,
     random_dag,
     same_generation_instance,
+    scale_reach_instance,
 )
 
 ANC = "anc(X, Y) <- par(X, Y). anc(X, Y) <- par(X, Z), anc(Z, Y)."
@@ -78,7 +88,7 @@ class _Arm:
     """
 
     def __init__(self, kb, compiled, bindings, compile=True, governed=True,
-                 traced=False, batch=True):
+                 traced=False, batch=True, engine_kwargs=None):
         self.kb = kb
         self.compiled = compiled
         self.bindings = bindings
@@ -86,6 +96,7 @@ class _Arm:
         self.governed = governed
         self.traced = traced
         self.batch = batch
+        self.engine_kwargs = engine_kwargs or {}
         self.best_wall = float("inf")
         self.walls: list[float] = []
         self.work = 0
@@ -101,7 +112,7 @@ class _Arm:
             self.kb.db, profiler=profiler, builtins=self.kb.builtins,
             compile=self.compile, batch=self.batch,
             governor=None if self.governed else False,
-            metrics=self.kb.metrics, **kwargs,
+            metrics=self.kb.metrics, **self.engine_kwargs, **kwargs,
         )
         start = time.perf_counter()
         answers = interpreter.run(
@@ -250,6 +261,71 @@ def exp7_bom(assemblies: int, depth: int, fanout: int, repeats: int) -> dict:
     )
 
 
+def scale_workload(nodes: int, edges: int, workers: int, repeats: int,
+                   min_rows: int = 1024) -> dict:
+    """The PR6 A/B: serial batch tier vs the hash-partitioned pool on
+    the frontier-reachability scale instance (total tuple work scales
+    with *edges* — size that in the millions for the full run).
+
+    The two arms interleave round-robin like the overhead arms, and the
+    speedup is the median of pairwise same-round wall ratios.  A ``>=
+    1.5x`` gate is only *meaningful* when the machine has cores for the
+    workers to run on, so the entry records ``cores`` and whether the
+    gate can be enforced; on a single-core box the number is
+    informational (the parity checks still run either way).
+    """
+    db = Database()
+    scale_reach_instance(db, nodes=nodes, edges=edges, seed=11)
+    kb = KnowledgeBase(OptimizerConfig(recursive_methods=("seminaive",)))
+    kb.rules("reach(X) <- source(X). reach(Y) <- reach(X), edge(X, Y).")
+    kb.facts("edge", rows_of(db, "edge"))
+    kb.facts("source", rows_of(db, "source"))
+    compiled_form = kb.compile("reach(Y)?")
+    arms = {
+        "serial": _Arm(kb, compiled_form, {},
+                       engine_kwargs={"parallel": False}),
+        "parallel": _Arm(kb, compiled_form, {},
+                         engine_kwargs={"parallel": True,
+                                        "parallel_workers": workers,
+                                        "parallel_min_rows": min_rows}),
+    }
+    for arm in arms.values():
+        arm.run_once(timed=False)
+    for _ in range(repeats):
+        for arm in arms.values():
+            arm.run_once()
+    serial = arms["serial"]
+    parallel = arms["parallel"]
+    match = parallel.answers.to_python() == serial.answers.to_python()
+    speedup = _median_ratio(serial.walls, parallel.walls)
+    try:
+        cores = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-linux
+        cores = os.cpu_count() or 1
+    entry = {
+        "workload": f"scale_reach_n{nodes}_e{edges}",
+        "query": "reach(Y)?",
+        "answers": len(serial.answers.to_python()),
+        "results_match": match,
+        "serial": serial.stats(),
+        "parallel": parallel.stats(),
+        "parallel_workers": workers,
+        "cores": cores,
+        "parallel_speedup": speedup,
+        # a wall-clock speedup gate is only falsifiable with real
+        # parallelism available; otherwise the run is correctness-only
+        "gate_enforceable": cores >= 2,
+    }
+    status = "ok" if match else "MISMATCH"
+    print(
+        f"  {entry['workload']:<28} par {speedup:>5.2f}x "
+        f"({serial.best_wall * 1e3:8.2f}ms serial -> "
+        f"{parallel.best_wall * 1e3:8.2f}ms x{workers}, {cores} core(s))  "
+        f"[{status}]"
+    )
+    return entry
+
+
 def warm_cache_workload(n: int, repeats: int) -> dict:
     """Repeated-query workload for the cross-query result cache: one cold
     ``ask`` populates the cache, then the same query repeats against the
@@ -292,7 +368,14 @@ def warm_cache_workload(n: int, repeats: int) -> dict:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true", help="small sizes (CI)")
-    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_PR5.json"))
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_PR6.json"))
+    parser.add_argument("--parallel-workers", type=int, default=4,
+                        help="pool size for the scale workload's parallel arm")
+    parser.add_argument("--min-parallel-speedup", type=float, default=None,
+                        help="fail if the scale workload's parallel/serial "
+                             "wall speedup falls below this (only enforced "
+                             "when the machine has >= 2 cores; on fewer the "
+                             "number is recorded informationally)")
     parser.add_argument("--max-overhead", type=float, default=None,
                         help="fail if geomean default/ungoverned wall "
                              "(traced-off instrumentation overhead) exceeds this")
@@ -319,10 +402,18 @@ def main(argv: list[str] | None = None) -> int:
         workloads.append(exp7_bom(16, 4, 3, repeats))
 
     warm = warm_cache_workload(60 if args.smoke else 200, repeats)
+    if args.smoke:
+        scale = scale_workload(1_500, 30_000, args.parallel_workers, repeats,
+                               min_rows=256)
+    else:
+        scale = scale_workload(12_000, 1_200_000, args.parallel_workers,
+                               repeats, min_rows=1024)
 
     mismatches = [w["workload"] for w in workloads if not w["results_match"]]
     if not warm["results_match"]:
         mismatches.append(warm["workload"])
+    if not scale["results_match"]:
+        mismatches.append(scale["workload"])
     slower = [w["workload"] for w in workloads if w["speedup"] < 1.0]
     more_work = [w["workload"] for w in workloads if w["work_ratio"] < 1.0]
     exp9 = [w for w in workloads if w["workload"].startswith("exp9")]
@@ -333,6 +424,7 @@ def main(argv: list[str] | None = None) -> int:
         "repeats": repeats,
         "workloads": workloads,
         "warm_cache": warm,
+        "scale": scale,
         "summary": {
             "geomean_speedup": _geomean([w["speedup"] for w in workloads]),
             "geomean_work_ratio": _geomean([w["work_ratio"] for w in workloads]),
@@ -343,6 +435,8 @@ def main(argv: list[str] | None = None) -> int:
                 [w["batch_speedup"] for w in exp9]
             ),
             "warm_cache_speedup": warm["warm_speedup"],
+            "parallel_speedup": scale["parallel_speedup"],
+            "parallel_gate_enforceable": scale["gate_enforceable"],
             "geomean_traced_off_overhead": _geomean(
                 [w["traced_off_overhead"] for w in workloads]
             ),
@@ -373,6 +467,8 @@ def main(argv: list[str] | None = None) -> int:
         f"batch/row {report['summary']['geomean_batch_speedup']:.2f}x "
         f"({report['summary']['geomean_batch_speedup_exp9']:.2f}x on exp9), "
         f"warm cache {report['summary']['warm_cache_speedup']:.0f}x, "
+        f"parallel {report['summary']['parallel_speedup']:.2f}x"
+        f"{'' if scale['gate_enforceable'] else ' (1-core: informational)'}, "
         f"work ratio {report['summary']['geomean_work_ratio']:.2f}x, "
         f"traced-off overhead {overhead:.3f}x weighted "
         f"({report['summary']['geomean_traced_off_overhead']:.3f}x geomean), "
@@ -388,6 +484,20 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 1
+    if args.min_parallel_speedup is not None:
+        if not scale["gate_enforceable"]:
+            print(
+                f"parallel speedup {scale['parallel_speedup']:.2f}x recorded "
+                f"informationally: {scale['cores']} core(s) available, gate "
+                f"needs >= 2 to be falsifiable"
+            )
+        elif scale["parallel_speedup"] < args.min_parallel_speedup:
+            print(
+                f"PARALLEL SPEEDUP {scale['parallel_speedup']:.2f}x below "
+                f"bound {args.min_parallel_speedup:.2f}x",
+                file=sys.stderr,
+            )
+            return 1
     if (
         args.min_warm_speedup is not None
         and warm["warm_speedup"] < args.min_warm_speedup

@@ -108,6 +108,21 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-batch", action="store_true",
                         help="disable the columnar batch execution tier "
                              "(row kernels only; see docs/performance.md)")
+    parser.add_argument("--no-parallel", action="store_true",
+                        help="disable the partitioned-parallel execution tier "
+                             "(serial batch/row tiers only)")
+    parser.add_argument("--parallel-workers", type=int, default=None, metavar="N",
+                        help="worker-pool size for the parallel tier "
+                             "(default: up to 4, capped at available cores)")
+    parser.add_argument("--backend", default="memory",
+                        choices=("memory", "sqlite"),
+                        help="storage backend: memory (default) keeps all "
+                             "relations resident; sqlite spills large ones "
+                             "to disk (see --spill-threshold)")
+    parser.add_argument("--spill-threshold", type=int, default=None, metavar="ROWS",
+                        help="tuples above which a relation spills to the "
+                             "sqlite backend (also enables resident-tuple "
+                             "accounting against --max-memory)")
     parser.add_argument("--no-result-cache", action="store_true",
                         help="disable the cross-query result cache")
     parser.add_argument("-i", "--interactive", action="store_true",
@@ -210,6 +225,10 @@ def main(argv: Sequence[str] | None = None, stdin: IO[str] | None = None, stdout
     kb = KnowledgeBase(
         OptimizerConfig(strategy=args.strategy),
         batch=not args.no_batch,
+        parallel=not args.no_parallel,
+        parallel_workers=args.parallel_workers,
+        backend=args.backend,
+        spill_threshold=args.spill_threshold,
         result_cache=not args.no_result_cache,
     )
     try:

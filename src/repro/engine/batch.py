@@ -51,6 +51,9 @@ from .profiler import Profiler
 #: Resolves a body literal to its current extension (see kernels.py).
 ExtensionOf = Callable[[Literal], Iterable[Row]]
 
+#: Rows per chunk when streaming a disk-backed scan through the tail.
+SPILL_CHUNK_ROWS = 65_536
+
 
 @dataclass(frozen=True, slots=True)
 class BatchStep:
@@ -137,12 +140,48 @@ class BatchExecutor:
     ) -> set[Row]:
         """Evaluate the body over whole batches and instantiate the head —
         the columnar twin of ``CompiledRule.execute``."""
+        steps = plan.steps
+        if steps and not (delta_position == 0 and delta_rows is not None):
+            extension = extension_of(steps[0].literal)
+            maker = getattr(extension, "batch_store", None)
+            if maker is not None:
+                driver = maker(self.interner)
+                if not isinstance(driver, BatchStore) and not steps[0].bound_positions:
+                    # Disk-backed driving scan: stream it chunk by chunk
+                    # instead of materializing the whole extension.
+                    return self._stream_spilled(
+                        plan, driver, extension_of, profiler,
+                        delta_position, delta_rows, governor, tracer,
+                    )
+        return self._run_tail(
+            plan, 0, [], 1, extension_of, profiler,
+            delta_position, delta_rows, governor, tracer,
+        )
+
+    def _run_tail(
+        self,
+        plan: BatchPlan,
+        start_position: int,
+        columns: list[list[int]],
+        length: int,
+        extension_of: ExtensionOf,
+        profiler: Profiler,
+        delta_position: int | None,
+        delta_rows: Iterable[Row] | None,
+        governor,
+        tracer,
+    ) -> set[Row]:
+        """The step loop from *start_position* onward, ending in the head.
+
+        ``execute`` starts it at step 0 over the unit table; the parallel
+        executor (:mod:`repro.engine.parallel`) resumes it mid-plan when a
+        rule falls back to serial completion after its driving step.
+        """
         interner = self.interner
-        columns: list[list[int]] = []
-        length = 1  # the unit table: one row, zero columns
-        for position, step in enumerate(plan.steps):
+        for position in range(start_position, len(plan.steps)):
             if length == 0:
                 return set()
+            step = plan.steps[position]
             label = plan.labels[position]
             with tracer.span(label, kind="operator"):
                 if governor is not None:
@@ -158,6 +197,83 @@ class BatchExecutor:
                 )
                 profiler.add_time(label, time.perf_counter() - start)
         return _instantiate_head(plan, columns, length, interner, profiler, governor)
+
+    def _stream_spilled(
+        self,
+        plan: BatchPlan,
+        driver,
+        extension_of: ExtensionOf,
+        profiler: Profiler,
+        delta_position: int | None,
+        delta_rows: Iterable[Row] | None,
+        governor,
+        tracer,
+    ) -> set[Row]:
+        """Stream a disk-backed driving scan through the tail steps chunk
+        by chunk, never materializing the whole extension.
+
+        Counter totals equal the one-shot in-memory run (chunk sums
+        telescope); span shape does not — the whole stream runs under a
+        single ``spill-stream`` span, the disk tier's documented
+        exception to span parity.
+        """
+        interner = self.interner
+        steps = plan.steps
+        tail: list[tuple[BatchStep, object, int]] = []
+        for position in range(1, len(steps)):
+            if position == delta_position and delta_rows is not None:
+                store = store_from_rows(delta_rows, interner)
+                tail.append((steps[position], store, store.length))
+            else:
+                scratch = Profiler()
+                store = self._resolve_store(
+                    extension_of(steps[position].literal), scratch
+                )
+                tail.append((steps[position], store, scratch.examined))
+
+        head_ids: set[tuple[int, ...]] = set()
+        chunk_rows = SPILL_CHUNK_ROWS
+        with tracer.span(
+            f"spill-stream:{plan.rule.head.predicate}", kind="operator"
+        ) as span:
+            span.note(chunk_rows=chunk_rows, store=driver.name)
+            profiler.bump_probes(1)  # the serial unit-scan's single probe
+            first = True
+            for chunk_columns, chunk_length in driver.scan_chunks(
+                steps[0].free_out, chunk_rows
+            ):
+                if governor is not None:
+                    governor.checkpoint(plan.labels[0])
+                profiler.bump_examined(chunk_length)
+                profiler.bump_produced(chunk_length)
+                if governor is not None:
+                    governor.tick(chunk_length)
+                columns, length = chunk_columns, chunk_length
+                for step, store, extra_examined in tail:
+                    if first and extra_examined:
+                        profiler.bump_examined(extra_examined)
+                    if length == 0:
+                        break
+                    columns, length = _batch_join(
+                        step, columns, length, store, profiler, governor
+                    )
+                first = False
+                if length:
+                    streams = [
+                        columns[slot] if slot is not None else repeat(const, length)
+                        for slot, const in zip(plan.head_slots, plan.head_const_ids)
+                    ]
+                    if streams:
+                        head_ids.update(zip(*streams))
+                    else:
+                        head_ids.add(())
+        terms = interner.terms
+        decode = terms.__getitem__
+        out = {tuple(map(decode, id_row)) for id_row in head_ids}
+        profiler.bump_produced(len(out))
+        if governor is not None:
+            governor.tick(len(out))
+        return out
 
     def _resolve_store(self, extension, profiler: Profiler) -> BatchStore:
         """The extension's columnar mirror — persistent and incrementally
@@ -183,6 +299,13 @@ def _batch_join(
     governor,
 ) -> tuple[list[list[int]], int]:
     """One whole-batch join: probe pass + gather pass (module docstring)."""
+    if not isinstance(store, BatchStore):
+        # Disk-backed extension (see repro.storage.backend): probe/scan
+        # runs as a SQL join against the spilled columns instead of an
+        # in-memory bucket probe; tuple counters stay identical.
+        from ..storage.backend import spilled_batch_join
+
+        return spilled_batch_join(step, columns, length, store, profiler, governor)
     if not columns and not step.bound_positions:
         # Unit-input full scan: the output *is* the extension's columns,
         # reused by reference — stores are append-only and never shrink

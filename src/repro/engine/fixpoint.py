@@ -113,7 +113,18 @@ class FixpointEngine:
         whose driving input is at least *batch_min_rows* rows execute
         over interned id columns, whole deltas per Python-level call.
         Requires ``compile``; ``batch=False`` is the row-tier escape
-        hatch mirroring ``compile=False``.
+        hatch mirroring ``compile=False``.  Rules touching a *spilled*
+        extension (:mod:`repro.storage.backend`) force the batch tier
+        regardless of size — it is the only tier that stays out-of-core.
+    parallel / parallel_min_rows / parallel_workers:
+        The partitioned-parallel tier (:mod:`repro.engine.parallel`):
+        batch rounds whose driving input is at least *parallel_min_rows*
+        rows hash-partition across a persistent pool of
+        *parallel_workers* processes (default: up to 4, capped at the
+        machine's cores).  Below the threshold — or with
+        ``parallel=False``, the escape hatch — rounds run on the serial
+        batch tier.  Answers, counters, span labels, and budget-abort
+        semantics are identical either way.
     """
 
     def __init__(
@@ -128,6 +139,9 @@ class FixpointEngine:
         compile: bool = True,
         batch: bool = True,
         batch_min_rows: int = 32,
+        parallel: bool = True,
+        parallel_min_rows: int | None = None,
+        parallel_workers: int | None = None,
         governor: "ResourceGovernor | None | bool" = None,
         tracer=NULL_TRACER,
         metrics=None,
@@ -177,6 +191,27 @@ class FixpointEngine:
             self._batch_exec: "BatchExecutor | None" = BatchExecutor()
         else:
             self._batch_exec = None
+        #: Partitioned-parallel tier (requires the batch tier: it fans the
+        #: same plans out).  The executor is cheap to build — the worker
+        #: pool itself spawns lazily on the first round that crosses
+        #: parallel_min_rows, so small queries never pay for processes.
+        self.parallel = parallel and self.batch
+        if parallel_min_rows is None:
+            from .parallel import DEFAULT_PARALLEL_MIN_ROWS
+
+            parallel_min_rows = DEFAULT_PARALLEL_MIN_ROWS
+        self.parallel_min_rows = parallel_min_rows
+        if self.parallel:
+            from .parallel import ParallelBatchExecutor
+
+            self._parallel_exec: "ParallelBatchExecutor | None" = (
+                ParallelBatchExecutor(workers=parallel_workers, metrics=metrics)
+            )
+        else:
+            self._parallel_exec = None
+        #: Spilled extensions force the batch tier (the row tier would
+        #: materialize them); checked only when spilling can happen.
+        self._spill_active = getattr(db, "spill_threshold", None) is not None
 
     # -- extensions ----------------------------------------------------------
 
@@ -296,21 +331,34 @@ class FixpointEngine:
                 )
                 if self._batch_exec is not None:
                     plan = self._kernels.get_batch(rule)
-                    if plan is not None and self._batch_input_size(
-                        compiled, workspace, derived, delta_rows
-                    ) >= self.batch_min_rows:
-                        span.note(tier="batch")
-                        if self.metrics is not None:
-                            self.metrics.inc("batch_rules_total")
-                        return self._batch_exec.execute(
-                            plan,
-                            lambda literal: self._extension(literal, workspace, derived),
-                            self.profiler,
-                            delta_position=delta_position,
-                            delta_rows=delta_rows,
-                            governor=self.governor,
-                            tracer=self.tracer,
+                    if plan is not None:
+                        size = self._batch_input_size(
+                            compiled, workspace, derived, delta_rows
                         )
+                        spilled = self._spill_active and self._touches_spilled(
+                            compiled, workspace, derived
+                        )
+                        if size >= self.batch_min_rows or spilled:
+                            executor = self._batch_exec
+                            tier = "batch"
+                            if (
+                                self._parallel_exec is not None
+                                and size >= self.parallel_min_rows
+                            ):
+                                executor = self._parallel_exec
+                                tier = "parallel"
+                            span.note(tier=tier)
+                            if self.metrics is not None:
+                                self.metrics.inc("batch_rules_total")
+                            return executor.execute(
+                                plan,
+                                lambda literal: self._extension(literal, workspace, derived),
+                                self.profiler,
+                                delta_position=delta_position,
+                                delta_rows=delta_rows,
+                                governor=self.governor,
+                                tracer=self.tracer,
+                            )
                 return compiled.execute(
                     lambda literal: self._extension(literal, workspace, derived),
                     self.method_chooser,
@@ -365,6 +413,24 @@ class FixpointEngine:
             return -1
         return size
 
+    def _touches_spilled(
+        self,
+        compiled,
+        workspace: Mapping[str, set[Row]],
+        derived: frozenset[PredicateRef],
+    ) -> bool:
+        """Whether any body extension lives on disk (see
+        :mod:`repro.storage.backend`); such rules must take the batch
+        tier — every other tier materializes the extension in memory."""
+        try:
+            for step in compiled.steps:
+                extension = self._extension(step.literal, workspace, derived)
+                if getattr(extension, "spilled", False):
+                    return True
+        except ExecutionError:
+            return False
+        return False
+
     # -- the fixpoint ------------------------------------------------------------
 
     def evaluate(
@@ -385,6 +451,11 @@ class FixpointEngine:
         governor = self.governor
         if governor is not None:
             governor.arm()
+            if self._spill_active:
+                # Spill accounting prices the fact base's *resident*
+                # tuples against the memory budget (idempotent per query;
+                # spilled relations count zero — see storage.backend).
+                governor.charge_resident(self.db.resident_tuples())
         self.tracer.attach(self.profiler)
 
         # Compiled evaluation stores derived extensions as index-maintaining

@@ -1,0 +1,700 @@
+"""Hash-partitioned parallel execution of columnar batch plans.
+
+The batch tier (:mod:`repro.engine.batch`) made a rule's work per round
+one probe/gather pass over interned id columns; this module fans that
+pass out across a persistent pool of worker *processes*.  The design
+constraint that shapes everything here: **only interned ids cross the
+process boundary**.  Workers never see a :class:`~repro.datalog.terms.Term`,
+never touch an interner, and never import engine state — a task is id
+columns plus a precompiled step layout, and a result is a set of head id
+tuples plus per-step tuple counters.  That makes worker results mergeable
+by plain set union and keeps the module-global
+:data:`~repro.datalog.intern.INTERNER` out of the workers entirely (any
+future worker-side term handling must ship an explicit
+:meth:`~repro.datalog.intern.TermInterner.snapshot`).
+
+Execution of one rule round:
+
+1. The **driving step** (step 0 — the delta scan on semi-naive rounds)
+   runs in the parent exactly as the serial batch tier runs it: same
+   span, same checkpoint, same counters.
+2. The resulting intermediate columns are **hash-partitioned** by the
+   interned ids of the next step's join key (block-partitioned when the
+   key has no varying column), and each partition ships to one worker.
+3. Workers run the remaining probe/gather steps and the head projection
+   over their partition, deduplicate head id tuples locally, and return
+   ``(per-step counters, head id set)``.
+4. At the **barrier** the parent replays the serial accounting: it opens
+   the same per-step span labels in order, fires the same governor
+   checkpoints, folds each worker's counter deltas inside a
+   ``partition:<i>`` child span, and ticks the governor with the step's
+   total production — so budgets abort with the identical
+   :class:`~repro.errors.ResourceExhausted` family, profiler totals match
+   the serial run exactly, and span-counter conservation holds.
+5. Head id sets union (deterministic — sets are order-free), the union
+   decodes through the parent's interner, and ``produced`` is charged for
+   the deduplicated result, exactly as serial head instantiation does.
+
+Counter parity is structural, not approximate: every input row lands in
+exactly one partition, so per-step ``probes``/``examined``/``produced``
+sums over partitions equal the serial whole-batch numbers for any
+partitioning whatsoever.
+
+Budget enforcement inside workers is cooperative, like the governor's
+hot-loop contract: each task carries ``emit_cap`` (the tuple/memory
+allowance remaining at dispatch) and an absolute deadline; a worker that
+overruns stops mid-step and returns partial counters flagged
+``exhausted``, and the parent's replay (or an explicit
+:meth:`~repro.engine.governor.ResourceGovernor.exhaust`) raises the
+matching error.  Worst-case overshoot before the barrier is bounded by
+``workers × remaining-allowance``.  Granularity caveat: the replay ticks
+once per step instead of once per allowance, so ``tick``-site fault
+rules may fire at different tuple offsets than serial — checkpoint-site
+fault rules (operator labels, round boundaries) fire identically.
+
+The pool is shared process-wide (:func:`get_pool`), spawned lazily on
+the first parallel round and reused across queries, engines, and the
+differential oracle's runs.  Workers cache extension columns keyed by
+``(store.par_key, length)``; stores are append-only, so the parent ships
+only column *tails* between rounds, and a dropped store (retract) is
+evicted from worker caches via a weakref finalizer.  Metrics are
+recorded in the parent only — workers report raw counter triples, never
+touch a :class:`~repro.obs.metrics.MetricsRegistry`, so partial worker
+counters can never double-count into the registry.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import multiprocessing
+import os
+import time
+import weakref
+from itertools import repeat
+from typing import Iterable
+
+from ..errors import ExecutionError
+from ..obs.tracer import NULL_TRACER
+from ..storage.columnar import BatchStore, store_from_rows
+from .batch import BatchExecutor, BatchPlan, ExtensionOf, _batch_join
+from .operators import Row
+from .profiler import Profiler
+
+#: Worker-side emit-cap/deadline polling interval (matched tuples).
+_CHECK_EVERY = 4096
+
+#: Engine-level default for the parallel tier's input-size threshold:
+#: below this many driving rows the per-round partition/ship/barrier
+#: overhead outweighs the fan-out (measured on the scale workload).
+DEFAULT_PARALLEL_MIN_ROWS = 50_000
+
+
+def default_worker_count() -> int:
+    """Pool size when none is configured: the smaller of 4 and the cores
+    actually available to this process (affinity-aware)."""
+    try:
+        cores = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        cores = os.cpu_count() or 1
+    return max(1, min(4, cores))
+
+
+# --------------------------------------------------------------- worker side
+
+
+class _IdStore:
+    """Worker-side columnar store: id columns + lazily built bucket maps.
+
+    The integer twin of :class:`~repro.storage.columnar.BatchStore` —
+    append-only, fed by column tails from the parent, with the same
+    bucket-key convention (bare id for single-position maps, id tuples
+    otherwise) so probe code is interchangeable.
+    """
+
+    __slots__ = ("columns", "length", "buckets")
+
+    def __init__(self) -> None:
+        self.columns: list[list[int]] = []
+        self.length = 0
+        self.buckets: dict[tuple[int, ...], dict[object, list[int]]] = {}
+
+    def extend_ids(self, base: int, new_length: int, tails: list[list[int]]) -> None:
+        if base != self.length:
+            raise ExecutionError(
+                f"store tail desync: cached {self.length} rows, parent shipped from {base}"
+            )
+        columns = self.columns
+        if not columns and tails:
+            self.columns = columns = [[] for _ in tails]
+        for column, tail in zip(columns, tails):
+            column.extend(tail)
+        start, self.length = self.length, new_length
+        for positions, buckets in self.buckets.items():
+            self._bucket_tail(positions, buckets, start)
+
+    def buckets_for(self, positions: tuple[int, ...]) -> dict[object, list[int]]:
+        buckets = self.buckets.get(positions)
+        if buckets is None:
+            buckets = {}
+            self.buckets[positions] = buckets
+            self._bucket_tail(positions, buckets, 0)
+        return buckets
+
+    def _bucket_tail(
+        self, positions: tuple[int, ...], buckets: dict, start: int
+    ) -> None:
+        if self.length == start:
+            # Nothing to bucket.  Mirrors BatchStore.buckets_for's length
+            # guard: an empty store may have no column lists at all, so
+            # indexing into them would raise before yielding zero keys.
+            return
+        columns = self.columns
+        if len(positions) == 1:
+            keys: Iterable[object] = columns[positions[0]][start:]
+        elif positions:
+            keys = zip(*(columns[p][start:] for p in positions))
+        else:
+            keys = ((),) * (self.length - start)
+        index = start
+        get = buckets.get
+        for key in keys:
+            bucket = get(key)
+            if bucket is None:
+                buckets[key] = [index]
+            else:
+                bucket.append(index)
+            index += 1
+
+
+def _run_task(task: dict, stores: dict[int, _IdStore]) -> dict:
+    """Execute the tail steps + head projection over one partition.
+
+    Pure integer algebra: probe cached/inline bucket maps, gather output
+    columns, count ``(probes, examined, produced)`` per step, dedup the
+    head projection locally.  Mirrors the serial ``_batch_join`` /
+    ``_instantiate_head`` pair minus profiler/governor/tracer, which the
+    parent replays from the returned counters.
+    """
+    columns: list[list[int]] = task["columns"]
+    length: int = task["length"]
+    emit_cap = task["emit_cap"]
+    deadline = task["deadline"]
+    counters: list[tuple[int, int, int]] = []
+    emitted = 0
+    exhausted: str | None = None
+    guarded = emit_cap is not None or deadline is not None
+
+    for key_slots, key_const_ids, bound_positions, free_out, ref in task["steps"]:
+        if length == 0 or exhausted is not None:
+            counters.append((0, 0, 0))
+            continue
+        if deadline is not None and time.time() > deadline:
+            exhausted = "deadline"
+            counters.append((0, 0, 0))
+            continue
+        if ref[0] == "cached":
+            store = stores[ref[1]]
+        else:  # inline: per-round delta columns shipped with the task
+            store = _IdStore()
+            store.extend_ids(0, ref[2], ref[1])
+        buckets = store.buckets_for(tuple(bound_positions))
+        probes = length
+
+        if len(key_slots) == 1:
+            if key_const_ids[0] is None:
+                keys: Iterable[object] = columns[key_slots[0]]
+            else:
+                keys = repeat(key_const_ids[0], length)
+        elif not key_slots:
+            keys = repeat((), length)
+        else:
+            keys = zip(
+                *(
+                    columns[slot] if slot is not None else repeat(const, length)
+                    for slot, const in zip(key_slots, key_const_ids)
+                )
+            )
+
+        left: list[int] = []
+        right: list[int] = []
+        push_left = left.append
+        push_right = right.append
+        get = buckets.get
+        if not guarded:
+            for i, key in enumerate(keys):
+                bucket = get(key)
+                if bucket is not None:
+                    for j in bucket:
+                        push_left(i)
+                        push_right(j)
+        else:
+            check_at = _CHECK_EVERY
+            for i, key in enumerate(keys):
+                bucket = get(key)
+                if bucket is not None:
+                    for j in bucket:
+                        push_left(i)
+                        push_right(j)
+                    if len(right) >= check_at:
+                        check_at = len(right) + _CHECK_EVERY
+                        if emit_cap is not None and emitted + len(right) > emit_cap:
+                            exhausted = "tuples"
+                            break
+                        if deadline is not None and time.time() > deadline:
+                            exhausted = "deadline"
+                            break
+
+        matches = len(right)
+        emitted += matches
+        counters.append((probes, matches, matches))
+        if exhausted is not None:
+            continue
+        if matches == 0:
+            columns, length = [], 0
+            continue
+        out_columns = [[column[i] for i in left] for column in columns]
+        store_columns = store.columns
+        for p in free_out:
+            column = store_columns[p]
+            out_columns.append([column[j] for j in right])
+        columns, length = out_columns, matches
+
+    head: set[tuple[int, ...]] | None = None
+    if exhausted is None:
+        head_slots, head_const_ids = task["head"]
+        if length == 0:
+            head = set()
+        else:
+            streams = [
+                columns[slot] if slot is not None else repeat(const, length)
+                for slot, const in zip(head_slots, head_const_ids)
+            ]
+            head = set(zip(*streams)) if streams else {()}
+    return {"steps": counters, "head": head, "exhausted": exhausted, "emitted": emitted}
+
+
+def _worker_main(conn) -> None:
+    """The worker process loop: cache store tails, execute tasks.
+
+    One message in flight per worker; every ``task`` gets exactly one
+    ``("ok", result)`` or ``("err", traceback)`` reply.  ``store`` and
+    ``drop`` messages are pipelined ahead of tasks and unacknowledged.
+    """
+    stores: dict[int, _IdStore] = {}
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        kind = message[0]
+        if kind == "task":
+            try:
+                result = _run_task(message[1], stores)
+            except BaseException:
+                import traceback
+
+                conn.send(("err", traceback.format_exc()))
+            else:
+                conn.send(("ok", result))
+        elif kind == "store":
+            __, key, base, new_length, tails = message
+            store = stores.get(key)
+            if store is None:
+                store = stores[key] = _IdStore()
+            store.extend_ids(base, new_length, tails)
+        elif kind == "drop":
+            for key in message[1]:
+                stores.pop(key, None)
+        elif kind == "stop":
+            break
+    try:
+        conn.close()
+    except OSError:
+        pass
+
+
+# --------------------------------------------------------------- the pool
+
+
+_next_store_key = itertools.count(1)
+_POOLS: dict[int, "ParallelPool"] = {}
+
+
+def _note_dead_store(key: int) -> None:
+    for pool in _POOLS.values():
+        pool.note_dead(key)
+
+
+def _broadcast_key(store: BatchStore) -> int:
+    """The store's broadcast identity, assigned (with a GC finalizer that
+    evicts worker caches) on first use."""
+    key = store.par_key
+    if key is None:
+        key = store.par_key = next(_next_store_key)
+        weakref.finalize(store, _note_dead_store, key)
+    return key
+
+
+class ParallelPool:
+    """A persistent pool of batch-join workers connected by pipes.
+
+    The pool survives across queries; per-worker ``shipped`` maps track
+    which column prefix of each broadcast store a worker already caches,
+    so steady-state rounds ship only deltas and column tails.
+    """
+
+    def __init__(self, workers: int, start_method: str | None = None):
+        if start_method is None:
+            # fork is substantially cheaper and inherits the loaded code;
+            # spawn is the fallback where fork is unavailable.  Workers
+            # are ids-only either way, so neither depends on inheriting
+            # (or not inheriting) interpreter state.
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        context = multiprocessing.get_context(start_method)
+        self.workers = workers
+        self.start_method = start_method
+        self._conns = []
+        self._procs = []
+        started = time.perf_counter()
+        for __ in range(workers):
+            parent_end, child_end = context.Pipe()
+            process = context.Process(
+                target=_worker_main, args=(child_end,), daemon=True
+            )
+            process.start()
+            child_end.close()
+            self._conns.append(parent_end)
+            self._procs.append(process)
+        self.warmup_seconds = time.perf_counter() - started
+        self._shipped: list[dict[int, int]] = [dict() for __ in range(workers)]
+        self._dead_keys: list[int] = []
+        self.closed = False
+
+    def note_dead(self, key: int) -> None:
+        self._dead_keys.append(key)
+
+    def alive(self) -> bool:
+        return not self.closed and all(p.is_alive() for p in self._procs)
+
+    def run(
+        self, tasks: list[dict | None], stores: dict[int, BatchStore]
+    ) -> list[dict | None]:
+        """Dispatch one task per worker (None = idle) and barrier on the
+        replies.  Ships dead-store drops and missing column tails first."""
+        drops = self._dead_keys
+        if drops:
+            self._dead_keys = []
+        try:
+            for w, conn in enumerate(self._conns):
+                shipped = self._shipped[w]
+                if drops:
+                    for key in drops:
+                        shipped.pop(key, None)
+                    conn.send(("drop", drops))
+                task = tasks[w]
+                if task is None:
+                    continue
+                for key, store in stores.items():
+                    have = shipped.get(key)
+                    if have is None or store.length > have:
+                        columns = store.columns or []
+                        tails = [column[have or 0:] for column in columns]
+                        conn.send(("store", key, have or 0, store.length, tails))
+                        shipped[key] = store.length
+                conn.send(("task", task))
+            results: list[dict | None] = [None] * len(tasks)
+            for w, task in enumerate(tasks):
+                if task is None:
+                    continue
+                kind, payload = self._conns[w].recv()
+                if kind == "err":
+                    raise ExecutionError(f"parallel worker {w} failed:\n{payload}")
+                results[w] = payload
+            return results
+        except (EOFError, OSError, BrokenPipeError) as err:
+            # A dead worker poisons the whole pool: close it so the next
+            # parallel round gets a fresh one, and surface the failure.
+            self.close()
+            _POOLS.pop(self.workers, None)
+            raise ExecutionError(f"parallel worker pool failed: {err}") from err
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+            except (OSError, BrokenPipeError):
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for process in self._procs:
+            process.join(timeout=2.0)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.terminate()
+
+
+def get_pool(workers: int, start_method: str | None = None) -> ParallelPool:
+    """The shared pool of the given size, (re)spawned on demand."""
+    pool = _POOLS.get(workers)
+    if pool is None or not pool.alive():
+        if pool is not None:
+            pool.close()
+        pool = ParallelPool(workers, start_method=start_method)
+        _POOLS[workers] = pool
+    return pool
+
+
+def shutdown_pools() -> None:
+    """Stop every pool (atexit hook; also handy in tests)."""
+    for pool in list(_POOLS.values()):
+        pool.close()
+    _POOLS.clear()
+
+
+atexit.register(shutdown_pools)
+
+
+# ------------------------------------------------------------ parent side
+
+
+def _partition_assignments(
+    columns: list[list[int]], length: int, step, nparts: int
+) -> list[int]:
+    """Partition index per input row: hash of the next step's varying key
+    ids, or contiguous blocks when the key is constant/empty (any
+    assignment is correct — the extension is replicated; hashing merely
+    co-locates equal keys)."""
+    varying = [slot for slot in step.key_slots if slot is not None]
+    if len(varying) == 1:
+        column = columns[varying[0]]
+        return [ident % nparts for ident in column]
+    if varying:
+        return [hash(key) % nparts for key in zip(*(columns[s] for s in varying))]
+    block = (length + nparts - 1) // nparts
+    return [i // block for i in range(length)]
+
+
+class ParallelBatchExecutor(BatchExecutor):
+    """The batch executor that fans tail steps across the worker pool.
+
+    Drop-in for :class:`~repro.engine.batch.BatchExecutor` — same
+    ``execute`` signature, same answers, same counters and span labels
+    (plus ``partition:<i>`` child spans), same abort semantics.  Rules
+    whose plan has fewer than two steps, whose driving step yields no
+    columns, or whose probe side lives on disk complete serially via the
+    inherited step loop.
+    """
+
+    def __init__(self, interner=None, workers: int | None = None, metrics=None):
+        from ..datalog.intern import INTERNER
+
+        super().__init__(interner or INTERNER)
+        self.workers = workers or default_worker_count()
+        self.metrics = metrics
+        self._pool: ParallelPool | None = None
+
+    def _ensure_pool(self) -> ParallelPool:
+        pool = self._pool
+        if pool is None or not pool.alive():
+            pool = self._pool = get_pool(self.workers)
+            if self.metrics is not None:
+                self.metrics.set_gauge("parallel_workers", pool.workers)
+                self.metrics.set_gauge(
+                    "parallel_pool_warmup_seconds", round(pool.warmup_seconds, 6)
+                )
+        return pool
+
+    def execute(
+        self,
+        plan: BatchPlan,
+        extension_of: ExtensionOf,
+        profiler: Profiler,
+        delta_position: int | None = None,
+        delta_rows: Iterable[Row] | None = None,
+        governor=None,
+        tracer=NULL_TRACER,
+    ) -> set[Row]:
+        steps = plan.steps
+        if len(steps) < 2:
+            return super().execute(
+                plan, extension_of, profiler, delta_position, delta_rows,
+                governor, tracer,
+            )
+        interner = self.interner
+
+        # Disk-backed driving scan: stream it chunk by chunk instead of
+        # materializing the whole extension (the out-of-core path).
+        if not (delta_position == 0 and delta_rows is not None):
+            extension = extension_of(steps[0].literal)
+            maker = getattr(extension, "batch_store", None)
+            if maker is not None:
+                driver = maker(interner)
+                if not isinstance(driver, BatchStore) and not steps[0].bound_positions:
+                    return self._stream_spilled(
+                        plan, driver, extension_of, profiler,
+                        delta_position, delta_rows, governor, tracer,
+                    )
+
+        # Step 0 in the parent, exactly as the serial tier runs it.
+        label = plan.labels[0]
+        with tracer.span(label, kind="operator"):
+            if governor is not None:
+                governor.checkpoint(label)
+            started = time.perf_counter()
+            if delta_position == 0 and delta_rows is not None:
+                store = store_from_rows(delta_rows, interner)
+                profiler.bump_examined(store.length)  # build side
+            else:
+                store = self._resolve_store(extension_of(steps[0].literal), profiler)
+            columns, length = _batch_join(
+                steps[0], [], 1, store, profiler, governor
+            )
+            profiler.add_time(label, time.perf_counter() - started)
+        if length == 0:
+            return set()
+        if not columns:
+            # zero-column intermediates (0-arity chains) keep the serial
+            # unit-scan accounting; not worth a process round-trip.
+            return self._run_tail(
+                plan, 1, columns, length, extension_of, profiler,
+                delta_position, delta_rows, governor, tracer,
+            )
+
+        # Resolve every probe-side store up front.  Counter charges that
+        # serial makes at resolve time are captured per step and replayed
+        # inside the matching span after the barrier.
+        tail: list[tuple[object, object, int]] = []  # (step, store/inline, examined)
+        for position in range(1, len(steps)):
+            if position == delta_position and delta_rows is not None:
+                delta_store = store_from_rows(delta_rows, interner)
+                tail.append((steps[position], ("inline", delta_store), delta_store.length))
+            else:
+                scratch = Profiler()
+                probe_store = self._resolve_store(
+                    extension_of(steps[position].literal), scratch
+                )
+                if not isinstance(probe_store, BatchStore):
+                    # disk-backed probe side: SQL joins run in the parent
+                    return self._run_tail(
+                        plan, 1, columns, length, extension_of, profiler,
+                        delta_position, delta_rows, governor, tracer,
+                    )
+                tail.append((steps[position], ("store", probe_store), scratch.examined))
+
+        pool = self._ensure_pool()
+        nparts = pool.workers
+        emit_cap = deadline_at = None
+        if governor is not None:
+            caps = []
+            if governor.max_tuples is not None:
+                caps.append(governor.max_tuples - governor.live_tuples)
+            if governor.max_memory_bytes is not None:
+                caps.append(
+                    governor.max_memory_bytes // governor.bytes_per_tuple
+                    - governor.live_tuples
+                )
+            if caps:
+                emit_cap = max(0, min(caps))
+            remaining = governor.remaining()
+            if remaining is not None:
+                deadline_at = time.time() + max(0.0, remaining)
+
+        shared_stores: dict[int, BatchStore] = {}
+        step_payload = []
+        for step, ref, __ in tail:
+            if ref[0] == "store":
+                key = _broadcast_key(ref[1])
+                shared_stores[key] = ref[1]
+                wire_ref: tuple = ("cached", key)
+            else:
+                inline = ref[1]
+                wire_ref = ("inline", inline.columns or [], inline.length)
+            step_payload.append(
+                (step.key_slots, step.key_const_ids, step.bound_positions,
+                 step.free_out, wire_ref)
+            )
+        head_payload = (plan.head_slots, plan.head_const_ids)
+
+        assignments = _partition_assignments(columns, length, steps[1], nparts)
+        part_rows: list[list[int]] = [[] for __ in range(nparts)]
+        for row_index, part in enumerate(assignments):
+            part_rows[part].append(row_index)
+        tasks: list[dict | None] = []
+        for indices in part_rows:
+            if not indices:
+                tasks.append(None)
+                continue
+            tasks.append({
+                "steps": step_payload,
+                "head": head_payload,
+                "columns": [[column[i] for i in indices] for column in columns],
+                "length": len(indices),
+                "emit_cap": emit_cap,
+                "deadline": deadline_at,
+            })
+
+        if self.metrics is not None:
+            self.metrics.inc("parallel_rules_total")
+            self.metrics.observe(
+                "parallel_partitions", sum(1 for task in tasks if task is not None)
+            )
+
+        started = time.perf_counter()
+        results = pool.run(tasks, shared_stores)
+        profiler.add_time(
+            f"parallel:{plan.rule.head.predicate}", time.perf_counter() - started
+        )
+
+        # Barrier replay: serial step labels, checkpoints, and counter
+        # totals, with per-partition deltas as child spans.
+        entering = length
+        for position, (step, ref, extra_examined) in enumerate(tail):
+            if entering == 0:
+                return set()
+            label = plan.labels[position + 1]
+            produced_total = 0
+            with tracer.span(label, kind="operator"):
+                if governor is not None:
+                    governor.checkpoint(label)
+                if extra_examined:
+                    profiler.bump_examined(extra_examined)
+                for w, result in enumerate(results):
+                    if result is None:
+                        continue
+                    probes, examined, produced = result["steps"][position]
+                    if probes or examined or produced:
+                        with tracer.span(f"partition:{w}", kind="partition"):
+                            profiler.bump_probes(probes)
+                            profiler.bump_examined(examined)
+                            profiler.bump_produced(produced)
+                    produced_total += produced
+                if governor is not None:
+                    governor.tick(produced_total)
+            entering = produced_total
+
+        if governor is not None:
+            # A worker that self-capped must surface its abort even when
+            # the replayed totals stayed inside the budget (its clock ran
+            # ahead of the governor's, or the cap raced a retain).
+            for result in results:
+                if result is not None and result["exhausted"]:
+                    governor.exhaust(result["exhausted"])
+
+        head_ids: set[tuple[int, ...]] = set()
+        for result in results:
+            if result is not None and result["head"]:
+                head_ids |= result["head"]
+        terms = interner.terms
+        decode = terms.__getitem__
+        out = {tuple(map(decode, id_row)) for id_row in head_ids}
+        profiler.bump_produced(len(out))
+        if governor is not None:
+            governor.tick(len(out))
+        return out
+

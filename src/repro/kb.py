@@ -44,7 +44,13 @@ class KnowledgeBase:
 
     *batch* / *batch_min_rows* control the columnar batch execution tier
     (:mod:`repro.engine.batch`); ``batch=False`` is the row-tier escape
-    hatch mirroring the engine's ``compile=False``.
+    hatch mirroring the engine's ``compile=False``.  *parallel* /
+    *parallel_min_rows* / *parallel_workers* control the partitioned
+    worker-pool tier above it (:mod:`repro.engine.parallel`), and
+    *backend* / *spill_threshold* pick the storage backend — with
+    ``backend="sqlite"`` relations larger than the threshold spill to
+    disk and stream through the batch kernels
+    (:mod:`repro.storage.backend`).
 
     *result_cache* enables the cross-query result cache: a repeat of an
     identical query (same goal, same adornment, same ``$``-bindings)
@@ -63,16 +69,24 @@ class KnowledgeBase:
         *,
         batch: bool = True,
         batch_min_rows: int = 32,
+        parallel: bool = True,
+        parallel_min_rows: int | None = None,
+        parallel_workers: int | None = None,
+        backend: str = "memory",
+        spill_threshold: int | None = None,
         result_cache: bool = True,
         result_cache_size: int = 256,
     ):
         from .datalog.builtins import default_builtins
 
-        self.db = Database()
+        self.db = Database(backend=backend, spill_threshold=spill_threshold)
         self.config = config or OptimizerConfig()
         self.builtins = default_builtins()
         self.batch = batch
         self.batch_min_rows = batch_min_rows
+        self.parallel = parallel
+        self.parallel_min_rows = parallel_min_rows
+        self.parallel_workers = parallel_workers
         self._rules: list[Rule] = []
         self._optimizer: Optimizer | None = None
         self._compiled: dict[tuple[str, str], OptimizedQuery] = {}
@@ -284,6 +298,8 @@ class KnowledgeBase:
             interpreter = Interpreter(
                 self.db, profiler=profiler, builtins=self.builtins,
                 batch=self.batch, batch_min_rows=self.batch_min_rows,
+                parallel=self.parallel, parallel_min_rows=self.parallel_min_rows,
+                parallel_workers=self.parallel_workers,
                 tracer=tracer, metrics=self.metrics,
             )
             answers = interpreter.run(compiled.plan, compiled.query, **bindings)
@@ -354,6 +370,8 @@ class KnowledgeBase:
             interpreter = Interpreter(
                 self.db, profiler=profiler, builtins=self.builtins,
                 batch=self.batch, batch_min_rows=self.batch_min_rows,
+                parallel=self.parallel, parallel_min_rows=self.parallel_min_rows,
+                parallel_workers=self.parallel_workers,
                 governor=governor, tracer=tracer, metrics=self.metrics,
             )
             answers = interpreter.run(compiled.plan, compiled.query, **bindings)

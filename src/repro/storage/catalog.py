@@ -14,14 +14,29 @@ from typing import Iterable, Iterator, Sequence
 
 from ..datalog.terms import Term
 from ..errors import SchemaError
+from .backend import StorageBackend, make_backend
 from .relation import Relation
 from .statistics import RelationStats, collect_statistics
 
 
 class Database:
-    """A mutable catalog of relations, with cached statistics."""
+    """A mutable catalog of relations, with cached statistics.
 
-    def __init__(self) -> None:
+    The physical representation of each relation is the *backend*'s
+    business (:mod:`repro.storage.backend`): ``"memory"`` (default) keeps
+    every relation a resident :class:`Relation`; ``"sqlite"`` spills any
+    relation that grows past *spill_threshold* tuples to a temporary
+    on-disk columnar store.  ``spill_threshold=None`` disables both
+    spilling and resident-tuple accounting — the pre-backend behaviour.
+    """
+
+    def __init__(
+        self,
+        backend: "str | StorageBackend" = "memory",
+        spill_threshold: int | None = None,
+    ) -> None:
+        self.backend = make_backend(backend)
+        self.spill_threshold = spill_threshold
         self._relations: dict[str, Relation] = {}
         self._stats_cache: dict[str, RelationStats] = {}
         self._stats_overrides: dict[str, RelationStats] = {}
@@ -32,7 +47,7 @@ class Database:
         """Create an empty relation; error if the name is taken."""
         if name in self._relations:
             raise SchemaError(f"relation {name!r} already exists")
-        relation = Relation(name, arity, columns)
+        relation = self.backend.create_relation(name, arity, columns)
         self._relations[name] = relation
         return relation
 
@@ -90,7 +105,10 @@ class Database:
         if relation is None:
             relation = self.create(name, len(row))
         self._stats_cache.pop(name, None)
-        return relation.insert(row)
+        added = relation.insert(row)
+        if added:
+            self._maybe_spill(name)
+        return added
 
     def load(self, name: str, rows: Iterable[Sequence[object]]) -> int:
         """Bulk-load plain-value rows, creating the relation on demand."""
@@ -101,7 +119,30 @@ class Database:
                 raise SchemaError(f"cannot infer arity of new relation {name!r} from no rows")
             relation = self.create(name, len(rows[0]))
         self._stats_cache.pop(name, None)
-        return relation.load(rows)
+        added = relation.load(rows)
+        if added:
+            self._maybe_spill(name)
+        return added
+
+    def _maybe_spill(self, name: str) -> None:
+        """Let the backend migrate a grown relation to its cold tier."""
+        if self.spill_threshold is None:
+            return
+        relation = self._relations[name]
+        migrated = self.backend.maybe_spill(relation, self.spill_threshold)
+        if migrated is not relation:
+            self._relations[name] = migrated
+
+    def resident_tuples(self) -> int:
+        """Tuples the backend holds in process memory across the whole
+        fact base (spilled tuples count zero) — what the engine charges
+        against the governor's memory budget when a spill threshold is
+        configured."""
+        backend = self.backend
+        return sum(
+            backend.resident_tuples(relation)
+            for relation in self._relations.values()
+        )
 
     def retract(self, name: str, rows: Iterable[Sequence[object]]) -> int:
         """Remove plain-value tuples from *name*; returns how many existed."""

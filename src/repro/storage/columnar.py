@@ -28,7 +28,7 @@ Row = tuple[Term, ...]
 class BatchStore:
     """Interned columns + row-index buckets for one extension."""
 
-    __slots__ = ("interner", "columns", "length", "_buckets")
+    __slots__ = ("interner", "columns", "length", "_buckets", "par_key", "__weakref__")
 
     def __init__(self, interner: TermInterner, arity: int | None = None):
         self.interner = interner
@@ -41,6 +41,10 @@ class BatchStore:
         #: for single-position buckets, a tuple of ids otherwise (and the
         #: empty tuple for the zero-position "all rows" bucket).
         self._buckets: dict[tuple[int, ...], dict[object, list[int]]] = {}
+        #: Broadcast identity for the parallel tier: stores are append-only,
+        #: so (par_key, length) names an exact column prefix a worker may
+        #: cache.  Assigned on first broadcast by repro.engine.parallel.
+        self.par_key: int | None = None
 
     def append(self, row: Row) -> None:
         """Encode and append one tuple, updating every built bucket map."""

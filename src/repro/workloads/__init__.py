@@ -8,6 +8,7 @@ from .datasets import (
     random_graph,
     random_linear_program,
     same_generation_instance,
+    scale_reach_instance,
 )
 from .paper_rulebase import PAPER_RULEBASE, paper_database, paper_program
 from .querygen import (
@@ -42,4 +43,5 @@ __all__ = [
     "random_graph",
     "random_linear_program",
     "same_generation_instance",
+    "scale_reach_instance",
 ]

@@ -1,0 +1,244 @@
+"""The partitioned-parallel batch tier: parallel ≡ serial, abort parity.
+
+:mod:`repro.engine.parallel` promises a drop-in batch executor: for any
+batchable program the parallel tier must produce the same answer sets,
+the same per-query profiler counters, the same governor abort types, and
+the same span labels as the serial batch tier — partitioning and the
+merge barrier must be observationally invisible.  These tests sweep that
+property over generated workloads, pin the abort and recovery paths
+(budget exhaustion mid-partition, worker death), and check that the
+registry-level metrics are parent-only (workers report raw counter
+triples over the pipe; they never touch a :class:`MetricsRegistry`, so
+nothing can be double-counted no matter how partitions overlap).
+
+The pool is a module-level singleton shared across tests; every test
+must leave it reusable (or dead-and-respawnable) for the next one.
+"""
+
+import random
+
+import pytest
+
+from repro.datalog.parser import parse_program
+from repro.engine.faults import FaultInjector, InjectedFault
+from repro.engine.fixpoint import evaluate_program
+from repro.engine.governor import ResourceGovernor
+from repro.engine.parallel import (
+    ParallelPool,
+    default_worker_count,
+    get_pool,
+    shutdown_pools,
+)
+from repro.engine.profiler import Profiler
+from repro.errors import ExecutionError, TupleBudgetExceeded
+from repro.obs.metrics import MetricsRegistry
+from repro.storage import Database, relation_from_rows
+
+TC = "p(X, Y) <- e(X, Y). p(X, Y) <- e(X, Z), p(Z, Y)."
+
+PROGRAMS = [
+    TC,
+    # join across a base and a derived relation
+    "p(X, Y) <- e(X, Y). q(X, Z) <- p(X, Y), f(Y, Z).",
+    # same-generation: two clique literals per body
+    "s(X, Y) <- f(X, Y). s(X, Y) <- e(X, Z), s(Z, W), e(Y, W).",
+    # constants in body literals and in the head
+    "c(X) <- e(v1, X). k(X, ok) <- c(X), f(X, Y).",
+    # an empty probe side (f yields nothing matching) next to a live one
+    "q(X, Y) <- e(X, Y), f(Y, X). p(X, Y) <- e(X, Z), p(Z, Y). p(X, Y) <- e(X, Y).",
+]
+
+
+def random_database(rng: random.Random) -> Database:
+    db = Database()
+    values = [f"v{i}" for i in range(rng.randint(4, 9))]
+    for name in ("e", "f"):
+        rows = {
+            (rng.choice(values), rng.choice(values))
+            for _ in range(rng.randint(3, 18))
+        }
+        db.add_relation(relation_from_rows(name, sorted(rows), arity=2))
+    return db
+
+
+def chain_database(n: int) -> Database:
+    db = Database()
+    db.load("e", [(f"n{i}", f"n{i + 1}") for i in range(n)])
+    return db
+
+
+def run(db, source, parallel, **kwargs):
+    profiler = Profiler()
+    result = evaluate_program(
+        db,
+        parse_program(source),
+        profiler=profiler,
+        batch=True,
+        batch_min_rows=0,
+        parallel=parallel,
+        parallel_min_rows=0,
+        parallel_workers=2,
+        **kwargs,
+    )
+    return result, profiler
+
+
+# ------------------------------------------------------- serial ≡ parallel
+
+
+@pytest.mark.parametrize("seed", range(4))
+@pytest.mark.parametrize("source", PROGRAMS)
+def test_parallel_matches_serial_answers_and_counters(seed, source):
+    """Partitioning must be invisible: identical relations AND identical
+    examined/produced/probes, because every input row lands in exactly
+    one partition and the barrier replays per-step counter sums."""
+    serial, sp = run(random_database(random.Random(seed)), source, parallel=False)
+    # regenerate with the same seed so both runs see identical facts
+    parallel, pp = run(random_database(random.Random(seed)), source, parallel=True)
+    assert parallel.relations == serial.relations
+    assert (pp.examined, pp.produced, pp.probes) == (
+        sp.examined,
+        sp.produced,
+        sp.probes,
+    )
+
+
+def test_parallel_matches_serial_on_a_long_chain():
+    """Many rounds of deltas, so the pool's cached-store tail shipping
+    (base, new_length) protocol is exercised round after round."""
+    serial, sp = run(chain_database(60), TC, parallel=False)
+    parallel, pp = run(chain_database(60), TC, parallel=True)
+    assert parallel["p"] == serial["p"]
+    assert len(parallel["p"]) == 60 * 61 // 2
+    assert (pp.examined, pp.produced, pp.probes) == (
+        sp.examined,
+        sp.produced,
+        sp.probes,
+    )
+
+
+def test_single_step_plans_fall_back_to_serial():
+    """One-literal bodies have no tail to fan out; the parallel executor
+    must delegate to the serial step loop, not crash or miscount."""
+    db = Database()
+    db.load("e", [("a", "b"), ("b", "c")])
+    result, __ = run(db, "p(X, Y) <- e(Y, X).", parallel=True)
+    assert result["p"] == frozenset({(("b",), ("a",))}) or len(result["p"]) == 2
+
+
+# ----------------------------------------------------------- abort parity
+
+
+def _governor(**kwargs):
+    return ResourceGovernor(**kwargs).arm()
+
+
+def test_tuple_budget_abort_parity():
+    """Both tiers must raise the same ResourceExhausted subtype when the
+    tuple budget dies mid-evaluation."""
+    with pytest.raises(TupleBudgetExceeded):
+        run(chain_database(80), TC, parallel=False, governor=_governor(max_tuples=500))
+    with pytest.raises(TupleBudgetExceeded):
+        run(chain_database(80), TC, parallel=True, governor=_governor(max_tuples=500))
+
+
+def test_pool_survives_a_governor_abort():
+    """A budget abort at the barrier must not poison the pool: the next
+    query reuses the same workers and still answers correctly."""
+    with pytest.raises(TupleBudgetExceeded):
+        run(chain_database(80), TC, parallel=True, governor=_governor(max_tuples=500))
+    pool = get_pool(2)
+    assert pool.alive()
+    result, __ = run(chain_database(10), TC, parallel=True)
+    assert len(result["p"]) == 10 * 11 // 2
+    assert get_pool(2) is pool  # same pool, not a respawn
+
+
+def test_fault_injection_parity():
+    """Checkpoint-site faults fire at the same point in both tiers: the
+    parent replays serial checkpoint labels in order at the barrier."""
+    for parallel in (False, True):
+        faults = FaultInjector().inject("join:p:*", after=2)
+        with pytest.raises(InjectedFault):
+            run(
+                chain_database(30),
+                TC,
+                parallel=parallel,
+                governor=ResourceGovernor(faults=faults).arm(),
+            )
+
+
+def test_dead_worker_poisons_the_dispatch():
+    """A worker dying mid-dispatch surfaces as ExecutionError and closes
+    the pool, so no later query can barrier on a half-dead pipe set."""
+    pool = ParallelPool(2)
+    pool._procs[0].terminate()
+    pool._procs[0].join(timeout=5.0)
+    task = {"columns": [[1]], "length": 1, "emit_cap": None, "deadline": None,
+            "steps": [], "head": ((0,), (None,))}
+    with pytest.raises(ExecutionError):
+        pool.run([task, task], {})
+    assert pool.closed
+
+
+def test_engine_respawns_a_dead_pool_transparently():
+    """The executor re-checks pool liveness before every dispatch: a
+    worker killed between queries costs a respawn, never a wrong answer."""
+    pool = get_pool(2)
+    pool._procs[0].terminate()
+    pool._procs[0].join(timeout=5.0)
+    result, __ = run(chain_database(30), TC, parallel=True)
+    assert len(result["p"]) == 30 * 31 // 2
+    fresh = get_pool(2)
+    assert fresh is not pool and fresh.alive()
+
+
+# ---------------------------------------------------------------- metrics
+
+
+def test_parallel_metrics_are_parent_only():
+    """The registry sees pool gauges and per-rule fan-out counts, and the
+    counts are identical run-to-run: workers have no registry handle, so
+    there is no double-count path through partitions."""
+    metrics = MetricsRegistry()
+    run(chain_database(40), TC, parallel=True, metrics=metrics)
+    rules = metrics.counter_value("parallel_rules_total")
+    assert rules >= 1
+    assert metrics.gauge_value("parallel_workers") == 2
+    warmup = metrics.gauge_value("parallel_pool_warmup_seconds")
+    assert warmup is None or warmup >= 0.0
+    histogram = metrics.histogram_for("parallel_partitions")
+    assert histogram is not None and histogram.observations >= rules
+
+    again = MetricsRegistry()
+    run(chain_database(40), TC, parallel=True, metrics=again)
+    assert again.counter_value("parallel_rules_total") == rules
+
+
+def test_serial_run_records_no_parallel_metrics():
+    metrics = MetricsRegistry()
+    run(chain_database(40), TC, parallel=False, metrics=metrics)
+    assert metrics.counter_value("parallel_rules_total") == 0
+    assert metrics.histogram_for("parallel_partitions") is None
+
+
+# ------------------------------------------------------------------- pool
+
+
+def test_default_worker_count_is_bounded():
+    assert 1 <= default_worker_count() <= 4
+
+
+def test_shutdown_pools_then_reuse():
+    """shutdown_pools (the atexit hook) must leave the module usable:
+    the next parallel query simply spawns a fresh pool."""
+    shutdown_pools()
+    result, __ = run(chain_database(12), TC, parallel=True)
+    assert len(result["p"]) == 12 * 13 // 2
+
+
+def test_pool_close_is_idempotent():
+    pool = ParallelPool(1)
+    pool.close()
+    pool.close()
+    assert not pool.alive()
