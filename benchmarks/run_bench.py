@@ -42,7 +42,14 @@ when the machine actually has >= 2 cores; with fewer the speedup is
 recorded in the report informationally and the run still verifies
 answer parity.
 
-The default output is ``BENCH_PR6.json`` at the repository root; each
+The ``txn_recovery`` arm is the PR7 robustness-tax gate: a bulk
+load + retract batch inside ``with kb.transaction():`` vs bare, and the
+parallel scale query with the default retry budget vs
+``parallel_retries=0``.  Healthy runs never enter the retry path, so
+both ratios must sit at noise level; ``--max-overhead`` bounds them
+alongside the traced-off ratio.
+
+The default output is ``BENCH_PR7.json`` at the repository root; each
 PR bumps the suffix so the perf trajectory stays reviewable in-tree
 (``benchmarks/compare_bench.py`` prints the BENCH_PR*.json series).
 """
@@ -365,10 +372,95 @@ def warm_cache_workload(n: int, repeats: int) -> dict:
     return entry
 
 
+def txn_recovery_workload(n: int, repeats: int, workers: int) -> dict:
+    """The PR7 robustness-tax A/B: the same work with and without the
+    fault-tolerance layer engaged, both ratios expected at noise level.
+
+    *Transaction overhead* — one bulk load + retract batch applied bare
+    vs inside ``with kb.transaction():`` (undo log, version snapshots,
+    deferred invalidation).  *Recovery overhead* — the parallel scale
+    query with the default retry budget vs ``parallel_retries=0``; on a
+    healthy run the retry wrapper never fires, so any measured gap is
+    pure bookkeeping.  Both are medians of pairwise same-round ratios,
+    interleaved like the other arms.
+    """
+    rows = [(f"n{i}", f"n{i + 1}") for i in range(n)]
+    cut = rows[: max(n // 10, 1)]
+    plain_walls: list[float] = []
+    txn_walls: list[float] = []
+    answers_match = True
+    for _ in range(max(repeats, 3)):
+        bare = KnowledgeBase(OptimizerConfig(recursive_methods=("seminaive",)))
+        bare.rules(ANC)
+        start = time.perf_counter()
+        bare.facts("par", rows)
+        bare.retract("par", cut)
+        plain_walls.append(time.perf_counter() - start)
+
+        txn = KnowledgeBase(OptimizerConfig(recursive_methods=("seminaive",)))
+        txn.rules(ANC)
+        start = time.perf_counter()
+        with txn.transaction():
+            txn.facts("par", rows)
+            txn.retract("par", cut)
+        txn_walls.append(time.perf_counter() - start)
+        answers_match = answers_match and (
+            bare.ask("anc($X, Y)?", X=f"n{len(cut)}").to_python()
+            == txn.ask("anc($X, Y)?", X=f"n{len(cut)}").to_python()
+        )
+    txn_overhead = _median_ratio(txn_walls, plain_walls)
+
+    kb = KnowledgeBase(OptimizerConfig(recursive_methods=("seminaive",)))
+    kb.rules(ANC)
+    kb.facts("par", rows)
+    compiled_form = kb.compile("anc(X, Y)?")
+    arms = {
+        "retries_off": _Arm(kb, compiled_form, {},
+                            engine_kwargs={"parallel": True,
+                                           "parallel_workers": workers,
+                                           "parallel_min_rows": 0,
+                                           "parallel_retries": 0}),
+        "retries_on": _Arm(kb, compiled_form, {},
+                           engine_kwargs={"parallel": True,
+                                          "parallel_workers": workers,
+                                          "parallel_min_rows": 0}),
+    }
+    for arm in arms.values():
+        arm.run_once(timed=False)
+    for _ in range(max(repeats, 3)):
+        for arm in arms.values():
+            arm.run_once()
+    recovery_overhead = _median_ratio(
+        arms["retries_on"].walls, arms["retries_off"].walls
+    )
+    answers_match = answers_match and (
+        arms["retries_on"].answers.to_python()
+        == arms["retries_off"].answers.to_python()
+    )
+    entry = {
+        "workload": f"txn_recovery_n{n}",
+        "results_match": answers_match,
+        "txn_overhead": txn_overhead,
+        "recovery_overhead": recovery_overhead,
+        "plain_wall_s": min(plain_walls),
+        "txn_wall_s": min(txn_walls),
+        "retries_on": arms["retries_on"].stats(),
+        "retries_off": arms["retries_off"].stats(),
+    }
+    print(
+        f"  {entry['workload']:<28} txn {txn_overhead:>6.3f}x "
+        f"({min(plain_walls) * 1e3:8.2f}ms bare -> "
+        f"{min(txn_walls) * 1e3:8.2f}ms txn)  recovery "
+        f"{recovery_overhead:.3f}x  "
+        f"[{'ok' if answers_match else 'MISMATCH'}]"
+    )
+    return entry
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true", help="small sizes (CI)")
-    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_PR6.json"))
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_PR7.json"))
     parser.add_argument("--parallel-workers", type=int, default=4,
                         help="pool size for the scale workload's parallel arm")
     parser.add_argument("--min-parallel-speedup", type=float, default=None,
@@ -402,6 +494,8 @@ def main(argv: list[str] | None = None) -> int:
         workloads.append(exp7_bom(16, 4, 3, repeats))
 
     warm = warm_cache_workload(60 if args.smoke else 200, repeats)
+    txn = txn_recovery_workload(2_000 if args.smoke else 10_000, repeats,
+                                args.parallel_workers)
     if args.smoke:
         scale = scale_workload(1_500, 30_000, args.parallel_workers, repeats,
                                min_rows=256)
@@ -414,6 +508,8 @@ def main(argv: list[str] | None = None) -> int:
         mismatches.append(warm["workload"])
     if not scale["results_match"]:
         mismatches.append(scale["workload"])
+    if not txn["results_match"]:
+        mismatches.append(txn["workload"])
     slower = [w["workload"] for w in workloads if w["speedup"] < 1.0]
     more_work = [w["workload"] for w in workloads if w["work_ratio"] < 1.0]
     exp9 = [w for w in workloads if w["workload"].startswith("exp9")]
@@ -425,6 +521,7 @@ def main(argv: list[str] | None = None) -> int:
         "workloads": workloads,
         "warm_cache": warm,
         "scale": scale,
+        "txn_recovery": txn,
         "summary": {
             "geomean_speedup": _geomean([w["speedup"] for w in workloads]),
             "geomean_work_ratio": _geomean([w["work_ratio"] for w in workloads]),
@@ -436,6 +533,8 @@ def main(argv: list[str] | None = None) -> int:
             ),
             "warm_cache_speedup": warm["warm_speedup"],
             "parallel_speedup": scale["parallel_speedup"],
+            "txn_overhead": txn["txn_overhead"],
+            "recovery_overhead": txn["recovery_overhead"],
             "parallel_gate_enforceable": scale["gate_enforceable"],
             "geomean_traced_off_overhead": _geomean(
                 [w["traced_off_overhead"] for w in workloads]
@@ -469,6 +568,8 @@ def main(argv: list[str] | None = None) -> int:
         f"warm cache {report['summary']['warm_cache_speedup']:.0f}x, "
         f"parallel {report['summary']['parallel_speedup']:.2f}x"
         f"{'' if scale['gate_enforceable'] else ' (1-core: informational)'}, "
+        f"txn overhead {txn['txn_overhead']:.3f}x / recovery "
+        f"{txn['recovery_overhead']:.3f}x, "
         f"work ratio {report['summary']['geomean_work_ratio']:.2f}x, "
         f"traced-off overhead {overhead:.3f}x weighted "
         f"({report['summary']['geomean_traced_off_overhead']:.3f}x geomean), "
@@ -484,6 +585,18 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 1
+    # The same bound gates the PR7 robustness tax: mutation batches
+    # inside a transaction, and the parallel retry wrapper on a healthy
+    # run, must both stay at noise level.
+    if args.max_overhead is not None:
+        for key in ("txn_overhead", "recovery_overhead"):
+            if txn[key] > args.max_overhead:
+                print(
+                    f"{key.upper()} {txn[key]:.3f}x exceeds bound "
+                    f"{args.max_overhead:.3f}x",
+                    file=sys.stderr,
+                )
+                return 1
     if args.min_parallel_speedup is not None:
         if not scale["gate_enforceable"]:
             print(

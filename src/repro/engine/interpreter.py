@@ -103,6 +103,7 @@ class Interpreter:
         parallel: bool = True,
         parallel_min_rows: int | None = None,
         parallel_workers: int | None = None,
+        parallel_retries: int | None = None,
         deadline_seconds: float | None = None,
         max_memory_bytes: int | None = None,
         governor: "ResourceGovernor | None | bool" = None,
@@ -148,6 +149,7 @@ class Interpreter:
         self.parallel = parallel
         self.parallel_min_rows = parallel_min_rows
         self.parallel_workers = parallel_workers
+        self.parallel_retries = parallel_retries
         self._cache: dict[tuple[int, Keys], frozenset[Row]] = {}
         #: per-plan-node measured execution stats (id(node) -> counters),
         #: consumed by EXPLAIN ANALYZE
@@ -345,6 +347,7 @@ class Interpreter:
             parallel=self.parallel,
             parallel_min_rows=self.parallel_min_rows,
             parallel_workers=self.parallel_workers,
+            parallel_retries=self.parallel_retries,
             # Share the query-wide governor; an explicitly ungoverned
             # interpreter keeps its fixpoints ungoverned too (rather than
             # letting FixpointEngine build its own default).

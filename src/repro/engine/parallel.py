@@ -74,7 +74,7 @@ import weakref
 from itertools import repeat
 from typing import Iterable
 
-from ..errors import ExecutionError
+from ..errors import ExecutionError, ParallelRoundError
 from ..obs.tracer import NULL_TRACER
 from ..storage.columnar import BatchStore, store_from_rows
 from .batch import BatchExecutor, BatchPlan, ExtensionOf, _batch_join
@@ -83,6 +83,24 @@ from .profiler import Profiler
 
 #: Worker-side emit-cap/deadline polling interval (matched tuples).
 _CHECK_EVERY = 4096
+
+#: Parent-side barrier poll interval (seconds): how often the barrier
+#: wakes to check worker liveness while waiting for a reply.  poll()
+#: returns immediately when data arrives, so this adds no steady-state
+#: latency — it only bounds how late a crash is noticed.
+_POLL_INTERVAL = 0.2
+
+#: Seconds close() waits for a worker to exit on "stop" before
+#: escalating to terminate, then kill — interpreter exit must never
+#: hang on a wedged worker.
+_CLOSE_JOIN_TIMEOUT = 2.0
+
+#: In-round retry policy for lost workers: at most this many full-round
+#: retries (each preceded by worker repair + state re-broadcast), with
+#: exponential backoff between attempts.
+DEFAULT_PARALLEL_RETRIES = 2
+_BACKOFF_BASE = 0.05
+_BACKOFF_CAP = 0.5
 
 #: Engine-level default for the parallel tier's input-size threshold:
 #: below this many driving rows the per-round partition/ship/barrier
@@ -336,12 +354,31 @@ def _broadcast_key(store: BatchStore) -> int:
     return key
 
 
+class _WorkerLost(Exception):
+    """Internal: one worker failed mid-round (died, pipe broke, wedged
+    past the deadline, or raised inside the task)."""
+
+    def __init__(self, worker: int, reason: str):
+        super().__init__(reason)
+        self.worker = worker
+        self.reason = reason
+
+
 class ParallelPool:
     """A persistent pool of batch-join workers connected by pipes.
 
     The pool survives across queries; per-worker ``shipped`` maps track
     which column prefix of each broadcast store a worker already caches,
     so steady-state rounds ship only deltas and column tails.
+
+    A worker lost mid-round (killed process, broken pipe, wedged past
+    the round deadline) no longer poisons the pool: :meth:`run` drains
+    the surviving workers, repairs the failed ones — terminate, respawn,
+    reset their shipped maps so the next dispatch re-broadcasts full
+    state — and raises :class:`~repro.errors.ParallelRoundError`.  Round
+    descriptors are idempotent (head sets union, counters replay only
+    from the successful attempt), so the caller can simply re-run the
+    same round against the repaired pool.
     """
 
     def __init__(self, workers: int, start_method: str | None = None):
@@ -352,25 +389,52 @@ class ParallelPool:
             # (or not inheriting) interpreter state.
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else "spawn"
-        context = multiprocessing.get_context(start_method)
+        self._context = multiprocessing.get_context(start_method)
         self.workers = workers
         self.start_method = start_method
-        self._conns = []
-        self._procs = []
-        started = time.perf_counter()
-        for __ in range(workers):
-            parent_end, child_end = context.Pipe()
-            process = context.Process(
-                target=_worker_main, args=(child_end,), daemon=True
-            )
-            process.start()
-            child_end.close()
-            self._conns.append(parent_end)
-            self._procs.append(process)
-        self.warmup_seconds = time.perf_counter() - started
+        self._conns: list = [None] * workers
+        self._procs: list = [None] * workers
         self._shipped: list[dict[int, int]] = [dict() for __ in range(workers)]
-        self._dead_keys: list[int] = []
         self.closed = False
+        started = time.perf_counter()
+        for w in range(workers):
+            self._spawn(w)
+        self.warmup_seconds = time.perf_counter() - started
+        self._dead_keys: list[int] = []
+        #: workers repaired over the pool's lifetime (observability)
+        self.repairs = 0
+
+    def _spawn(self, w: int) -> None:
+        parent_end, child_end = self._context.Pipe()
+        process = self._context.Process(
+            target=_worker_main, args=(child_end,), daemon=True
+        )
+        process.start()
+        child_end.close()
+        self._conns[w] = parent_end
+        self._procs[w] = process
+        self._shipped[w] = {}
+
+    def _repair(self, failed: Iterable[int]) -> None:
+        """Replace failed workers: force the old process down, spawn a
+        fresh one, and forget what was shipped so the next round
+        re-broadcasts its full state."""
+        for w in sorted(set(failed)):
+            process = self._procs[w]
+            try:
+                self._conns[w].close()
+            except OSError:
+                pass
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=1.0)
+                if process.is_alive():  # pragma: no cover - defensive
+                    process.kill()
+                    process.join(timeout=1.0)
+            else:
+                process.join(timeout=1.0)
+            self._spawn(w)
+            self.repairs += 1
 
     def note_dead(self, key: int) -> None:
         self._dead_keys.append(key)
@@ -378,22 +442,59 @@ class ParallelPool:
     def alive(self) -> bool:
         return not self.closed and all(p.is_alive() for p in self._procs)
 
+    def _recv(self, w: int, deadline: float | None):
+        """One reply from worker *w*, polling so a dead or wedged worker
+        is noticed instead of blocking the barrier forever."""
+        conn = self._conns[w]
+        process = self._procs[w]
+        while True:
+            try:
+                if conn.poll(_POLL_INTERVAL):
+                    return conn.recv()
+            except (EOFError, OSError) as err:
+                raise _WorkerLost(w, f"pipe failed: {err or 'closed'}") from err
+            if not process.is_alive():
+                # Drain the race: the reply may have landed between the
+                # poll and the exit.
+                try:
+                    if conn.poll(0):
+                        return conn.recv()
+                except (EOFError, OSError):
+                    pass
+                raise _WorkerLost(w, f"worker died (exitcode {process.exitcode})")
+            if deadline is not None and time.time() > deadline:
+                raise _WorkerLost(w, "no reply before the round deadline (wedged)")
+
     def run(
-        self, tasks: list[dict | None], stores: dict[int, BatchStore]
+        self,
+        tasks: list[dict | None],
+        stores: dict[int, BatchStore],
+        deadline: float | None = None,
     ) -> list[dict | None]:
         """Dispatch one task per worker (None = idle) and barrier on the
-        replies.  Ships dead-store drops and missing column tails first."""
+        replies.  Ships dead-store drops and missing column tails first.
+
+        *deadline* (absolute ``time.time()``) bounds how long the barrier
+        waits for each reply; workers self-abort on the same deadline, so
+        it only fires for wedged/dead workers.  On any worker failure the
+        surviving replies are drained, the failed workers repaired, and
+        :class:`~repro.errors.ParallelRoundError` raised — the pool stays
+        usable and the round can be retried as-is.
+        """
         drops = self._dead_keys
         if drops:
             self._dead_keys = []
-        try:
-            for w, conn in enumerate(self._conns):
-                shipped = self._shipped[w]
+        dispatched: list[int] = []
+        failed: dict[int, str] = {}
+        for w, conn in enumerate(self._conns):
+            shipped = self._shipped[w]
+            if drops:
+                for key in drops:
+                    shipped.pop(key, None)
+            task = tasks[w]
+            try:
                 if drops:
-                    for key in drops:
-                        shipped.pop(key, None)
                     conn.send(("drop", drops))
-                task = tasks[w]
                 if task is None:
                     continue
                 for key, store in stores.items():
@@ -404,39 +505,64 @@ class ParallelPool:
                         conn.send(("store", key, have or 0, store.length, tails))
                         shipped[key] = store.length
                 conn.send(("task", task))
-            results: list[dict | None] = [None] * len(tasks)
-            for w, task in enumerate(tasks):
-                if task is None:
-                    continue
-                kind, payload = self._conns[w].recv()
-                if kind == "err":
-                    raise ExecutionError(f"parallel worker {w} failed:\n{payload}")
-                results[w] = payload
-            return results
-        except (EOFError, OSError, BrokenPipeError) as err:
-            # A dead worker poisons the whole pool: close it so the next
-            # parallel round gets a fresh one, and surface the failure.
-            self.close()
-            _POOLS.pop(self.workers, None)
-            raise ExecutionError(f"parallel worker pool failed: {err}") from err
+                dispatched.append(w)
+            except (OSError, BrokenPipeError, ValueError) as err:
+                failed[w] = f"dispatch failed: {err}"
+        results: list[dict | None] = [None] * len(tasks)
+        for w in dispatched:
+            try:
+                kind, payload = self._recv(w, deadline)
+            except _WorkerLost as lost:
+                failed[w] = lost.reason
+                continue
+            if kind == "err":
+                # The task raised inside the worker.  Its cached state is
+                # suspect; repair it like a crash.  Retries re-broadcast
+                # from scratch (which heals desyncs), and a deterministic
+                # failure exhausts retries and degrades to the serial
+                # tier, which recomputes the round authoritatively.
+                failed[w] = f"task failed in worker:\n{payload}"
+                continue
+            results[w] = payload
+        if failed:
+            self._repair(failed)
+            detail = "; ".join(
+                f"worker {w}: {reason}" for w, reason in sorted(failed.items())
+            )
+            raise ParallelRoundError(
+                f"parallel round lost {len(failed)} of {self.workers} worker(s) "
+                f"({detail})"
+            )
+        return results
 
     def close(self) -> None:
+        """Stop every worker; joins are bounded and stragglers are
+        terminated (then killed), so interpreter exit can never hang on
+        a wedged worker.  Idempotent."""
         if self.closed:
             return
         self.closed = True
         for conn in self._conns:
+            if conn is None:
+                continue
             try:
                 conn.send(("stop",))
-            except (OSError, BrokenPipeError):
+            except (OSError, BrokenPipeError, ValueError):
                 pass
             try:
                 conn.close()
             except OSError:
                 pass
         for process in self._procs:
-            process.join(timeout=2.0)
-            if process.is_alive():  # pragma: no cover - defensive
+            if process is None:
+                continue
+            process.join(timeout=_CLOSE_JOIN_TIMEOUT)
+            if process.is_alive():
                 process.terminate()
+                process.join(timeout=1.0)
+                if process.is_alive():  # pragma: no cover - defensive
+                    process.kill()
+                    process.join(timeout=1.0)
 
 
 def get_pool(workers: int, start_method: str | None = None) -> ParallelPool:
@@ -451,10 +577,44 @@ def get_pool(workers: int, start_method: str | None = None) -> ParallelPool:
 
 
 def shutdown_pools() -> None:
-    """Stop every pool (atexit hook; also handy in tests)."""
+    """Stop every pool (atexit hook; also handy in tests).  Bounded:
+    per-worker joins time out and escalate to terminate/kill, so this
+    can never hang interpreter exit."""
     for pool in list(_POOLS.values()):
         pool.close()
     _POOLS.clear()
+
+
+def kill_one_worker() -> bool:
+    """SIGKILL one live worker process — the chaos/fault-injection crash
+    action.  Returns True when a worker was killed (False when no pool
+    is live, so fault schedules can fall through harmlessly)."""
+    for pool in _POOLS.values():
+        if pool.closed:
+            continue
+        for process in pool._procs:
+            if process is not None and process.is_alive():
+                process.kill()
+                process.join(timeout=1.0)
+                return True
+    return False
+
+
+def drop_one_pipe() -> bool:
+    """Close one parent-side worker pipe — the chaos/fault-injection
+    connection-loss action.  The worker survives but the next dispatch
+    to it fails, exercising the dispatch-failure repair path."""
+    for pool in _POOLS.values():
+        if pool.closed:
+            continue
+        for conn in pool._conns:
+            if conn is not None and not conn.closed:
+                try:
+                    conn.close()
+                except OSError:  # pragma: no cover - already broken
+                    pass
+                return True
+    return False
 
 
 atexit.register(shutdown_pools)
@@ -491,12 +651,19 @@ class ParallelBatchExecutor(BatchExecutor):
     inherited step loop.
     """
 
-    def __init__(self, interner=None, workers: int | None = None, metrics=None):
+    def __init__(
+        self,
+        interner=None,
+        workers: int | None = None,
+        metrics=None,
+        retries: int = DEFAULT_PARALLEL_RETRIES,
+    ):
         from ..datalog.intern import INTERNER
 
         super().__init__(interner or INTERNER)
         self.workers = workers or default_worker_count()
         self.metrics = metrics
+        self.retries = retries
         self._pool: ParallelPool | None = None
 
     def _ensure_pool(self) -> ParallelPool:
@@ -540,6 +707,13 @@ class ParallelBatchExecutor(BatchExecutor):
                         plan, driver, extension_of, profiler,
                         delta_position, delta_rows, governor, tracer,
                     )
+
+        # Acquire the pool before the round's first checkpoint: a worker
+        # that dies anywhere after this point (including a crash fault
+        # fired at the checkpoint itself) is a mid-round loss the
+        # dispatch/recv path must detect, repair, and retry — not a
+        # between-rounds respawn that get_pool() would paper over.
+        pool = self._ensure_pool()
 
         # Step 0 in the parent, exactly as the serial tier runs it.
         label = plan.labels[0]
@@ -587,7 +761,6 @@ class ParallelBatchExecutor(BatchExecutor):
                     )
                 tail.append((steps[position], ("store", probe_store), scratch.examined))
 
-        pool = self._ensure_pool()
         nparts = pool.workers
         emit_cap = deadline_at = None
         if governor is not None:
@@ -601,9 +774,7 @@ class ParallelBatchExecutor(BatchExecutor):
                 )
             if caps:
                 emit_cap = max(0, min(caps))
-            remaining = governor.remaining()
-            if remaining is not None:
-                deadline_at = time.time() + max(0.0, remaining)
+            deadline_at = governor.round_deadline()
 
         shared_stores: dict[int, BatchStore] = {}
         step_payload = []
@@ -646,7 +817,9 @@ class ParallelBatchExecutor(BatchExecutor):
             )
 
         started = time.perf_counter()
-        results = pool.run(tasks, shared_stores)
+        results = self._run_with_retries(
+            pool, tasks, shared_stores, deadline_at, governor, tracer
+        )
         profiler.add_time(
             f"parallel:{plan.rule.head.predicate}", time.perf_counter() - started
         )
@@ -697,4 +870,50 @@ class ParallelBatchExecutor(BatchExecutor):
         if governor is not None:
             governor.tick(len(out))
         return out
+
+    def _run_with_retries(
+        self,
+        pool: ParallelPool,
+        tasks: list[dict | None],
+        shared_stores: dict[int, BatchStore],
+        deadline_at: float | None,
+        governor,
+        tracer,
+    ) -> list[dict | None]:
+        """One idempotent fan-out round with bounded in-round retries.
+
+        The round descriptor re-dispatches unchanged: head sets union and
+        counters replay only from the attempt that succeeds, so a retry
+        changes nothing observable besides wall clock.  Each retry backs
+        off exponentially (capped, and never past the governor deadline);
+        repaired workers re-receive their full broadcast state because
+        :meth:`ParallelPool._repair` reset their shipped maps.  The
+        barrier waits a grace period past the worker deadline — workers
+        self-abort on it first, so the parent-side cutoff only fires for
+        genuinely wedged processes.
+        """
+        recv_deadline = None if deadline_at is None else deadline_at + 2.0
+        attempt = 0
+        while True:
+            try:
+                return pool.run(tasks, shared_stores, deadline=recv_deadline)
+            except ParallelRoundError as err:
+                attempt += 1
+                if self.metrics is not None:
+                    self.metrics.inc("parallel_round_retries_total")
+                with tracer.span("parallel_retry", kind="recovery") as span:
+                    span.note(attempt=attempt, error=str(err))
+                if attempt > self.retries:
+                    raise
+                backoff = min(_BACKOFF_BASE * (2 ** (attempt - 1)), _BACKOFF_CAP)
+                if governor is not None:
+                    remaining = governor.remaining()
+                    if remaining is not None:
+                        if remaining <= 0:
+                            raise  # no budget left to retry inside
+                        backoff = min(backoff, remaining)
+                time.sleep(backoff)
+                if not pool.alive():  # pragma: no cover - repair failed
+                    pool = self._ensure_pool()
+
 

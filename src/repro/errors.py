@@ -55,6 +55,43 @@ class ExecutionError(ReproError):
     """
 
 
+class TransientExecutionError(ExecutionError):
+    """An infrastructure failure that a *different* execution tier can
+    survive: the answer set is unaffected, only the machinery that was
+    computing it died.  The fixpoint engine catches this family and
+    degrades down the tier ladder (parallel -> serial batch -> row)
+    instead of failing the query (see :mod:`repro.engine.fixpoint`).
+    Deterministic errors — wrong plans, unsafe executions, budget
+    exhaustion — must NOT derive from this class: re-running them on
+    another tier would just fail again, slower.
+    """
+
+
+class ParallelRoundError(TransientExecutionError):
+    """A parallel fan-out round lost one or more workers (crash, killed
+    process, broken pipe) and in-round retries were not enough.  The
+    round descriptor is idempotent, so the serial batch tier can re-run
+    it with identical answers.
+    """
+
+
+class StorageError(ExecutionError):
+    """The storage backend failed physically (e.g. a SQLite I/O error on
+    a spilled relation).  Not transient: every tier reads through the
+    same disk, so degradation cannot help — the query fails with this
+    clean, typed error instead of a raw ``sqlite3`` exception.
+    """
+
+
+class TransactionError(ReproError):
+    """Raised for transaction protocol misuse: opening a transaction
+    while one is already active, or committing/rolling back when none
+    is open.  Faults *inside* a transaction do not raise this — they
+    propagate after the database has been rolled back to the state at
+    ``begin``.
+    """
+
+
 class ResourceExhausted(ExecutionError):
     """Raised when the execution governor aborts a query.
 

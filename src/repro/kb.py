@@ -23,6 +23,7 @@ a single time and can then be executed for many values of ``$X``
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Iterable, Sequence
 
 from .datalog.bindings import QueryForm
@@ -30,13 +31,38 @@ from .datalog.parser import parse_program, parse_query
 from .datalog.rules import Program, Rule
 from .engine.interpreter import Interpreter, QueryAnswers
 from .engine.profiler import Profiler
-from .errors import KnowledgeBaseError
+from .errors import KnowledgeBaseError, TransactionError
 from .obs.metrics import MetricsRegistry
 from .obs.tracer import NULL_TRACER
 from .optimizer.optimizer import OptimizedQuery, Optimizer, OptimizerConfig
 from .plans.printer import explain
 from .storage.catalog import Database
 from .storage.loader import load_facts_text
+
+
+class _KbTxn:
+    """Knowledge-base side of one open transaction: snapshots of what the
+    Database's own rollback cannot see (the rule list, the materialized
+    ViewSet reference, and the cross-query result cache — whose entries
+    added at intermediate version vectors would go stale-but-reachable if
+    versions were restored under them), plus deferred view maintenance so
+    invalidation fires exactly once at commit."""
+
+    __slots__ = (
+        "rules", "views", "result_cache", "view_ops",
+        "dirty", "rules_changed", "full_invalidate",
+    )
+
+    def __init__(self, kb: "KnowledgeBase"):
+        self.rules = list(kb._rules)
+        self.views = kb._views
+        self.result_cache = (
+            dict(kb._result_cache) if kb._result_cache is not None else None
+        )
+        self.view_ops: list[tuple[str, str, list]] = []
+        self.dirty = False
+        self.rules_changed = False
+        self.full_invalidate = False
 
 
 class KnowledgeBase:
@@ -72,6 +98,7 @@ class KnowledgeBase:
         parallel: bool = True,
         parallel_min_rows: int | None = None,
         parallel_workers: int | None = None,
+        parallel_retries: int | None = None,
         backend: str = "memory",
         spill_threshold: int | None = None,
         result_cache: bool = True,
@@ -87,6 +114,7 @@ class KnowledgeBase:
         self.parallel = parallel
         self.parallel_min_rows = parallel_min_rows
         self.parallel_workers = parallel_workers
+        self.parallel_retries = parallel_retries
         self._rules: list[Rule] = []
         self._optimizer: Optimizer | None = None
         self._compiled: dict[tuple[str, str], OptimizedQuery] = {}
@@ -95,10 +123,73 @@ class KnowledgeBase:
             {} if result_cache else None
         )
         self._result_cache_size = result_cache_size
+        self._txn: _KbTxn | None = None
         #: cross-query observability aggregates (plan-cache hit rate,
         #: governor denials, kernel compiles, ...); exportable via
         #: ``metrics.to_json()`` / ``metrics.to_prometheus_text()``
         self.metrics = MetricsRegistry()
+
+    # ----------------------------------------------------------- transactions
+
+    @contextmanager
+    def transaction(self):
+        """Atomic update group: ``with kb.transaction(): ...``.
+
+        Every :meth:`facts` / :meth:`retract` / :meth:`rules` /
+        :meth:`facts_text` inside the block applies atomically — commit
+        on normal exit; on any exception the fact base, rule base, result
+        cache, and version vector are restored byte-identically to the
+        state at entry, then the exception propagates.  Plan/result-cache
+        invalidation and materialized-view maintenance fire exactly once,
+        at commit.  Mid-transaction queries see the transaction's own
+        writes (except through materialized views, whose maintenance is
+        deferred to commit).  No nesting.
+        """
+        if self._txn is not None:
+            raise TransactionError("transaction already open on this KnowledgeBase")
+        txn = _KbTxn(self)
+        self.db.begin_transaction()
+        self._txn = txn
+        try:
+            yield self
+        except BaseException:
+            self._txn = None
+            self.db.rollback_transaction()
+            self._rules = txn.rules
+            self._views = txn.views
+            if txn.result_cache is not None and self._result_cache is not None:
+                self._result_cache.clear()
+                self._result_cache.update(txn.result_cache)
+            # Compiled plans and the optimizer may reflect in-transaction
+            # rules/stats; drop them (they rebuild lazily and cheaply).
+            self._optimizer = None
+            self._compiled.clear()
+            self.metrics.inc("transactions_total", outcome="rollback")
+            raise
+        else:
+            self._txn = None
+            self.db.commit_transaction()
+            if txn.full_invalidate or txn.rules_changed:
+                self._invalidate()
+            elif txn.dirty:
+                self._invalidate(keep_views=True)
+            if self._views is not None:
+                for op, predicate, rows in txn.view_ops:
+                    if op == "insert":
+                        self._views.insert(predicate, rows)
+                    else:
+                        self._views.delete(predicate, rows)
+            self.metrics.inc("transactions_total", outcome="commit")
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._txn is not None
+
+    def close(self) -> None:
+        """Release storage resources (rolls back any open transaction,
+        deletes spilled temp files).  Idempotent."""
+        self._txn = None
+        self.db.close()
 
     # ----------------------------------------------------------- loading
 
@@ -116,6 +207,8 @@ class KnowledgeBase:
             self._check_rule(rule)
             self._rules.append(rule)
             added += 1
+        if self._txn is not None:
+            self._txn.rules_changed = True
         self._invalidate()
         return added
 
@@ -123,6 +216,8 @@ class KnowledgeBase:
         """Add one programmatically built rule."""
         self._check_rule(rule)
         self._rules.append(rule)
+        if self._txn is not None:
+            self._txn.rules_changed = True
         self._invalidate()
 
     def facts(self, predicate: str, rows: Iterable[Sequence[object]]) -> int:
@@ -147,6 +242,15 @@ class KnowledgeBase:
         for row in lifted:
             if self.db.insert(predicate, row):
                 added += 1
+        txn = self._txn
+        if txn is not None:
+            # Deferred to commit: invalidation fires once, and view
+            # maintenance never has to be undone on rollback.
+            if added:
+                txn.dirty = True
+            if fresh:
+                txn.view_ops.append(("insert", predicate, fresh))
+            return added
         self._invalidate(keep_views=True)
         if self._views is not None and fresh:
             self._views.insert(predicate, fresh)
@@ -161,6 +265,13 @@ class KnowledgeBase:
         relation = self.db.get(predicate)
         present = [row for row in lifted if relation is not None and row in relation]
         removed = self.db.retract(predicate, [tuple(f for f in row) for row in present])
+        txn = self._txn
+        if txn is not None:
+            if removed:
+                txn.dirty = True
+                if present:
+                    txn.view_ops.append(("delete", predicate, present))
+            return removed
         if removed:
             self._invalidate(keep_views=True)
             if self._views is not None and present:
@@ -197,6 +308,10 @@ class KnowledgeBase:
     def facts_text(self, source: str) -> int:
         """Load facts written in LDL syntax (supports complex terms)."""
         added = load_facts_text(self.db, source)
+        if self._txn is not None:
+            self._txn.dirty = True
+            self._txn.full_invalidate = True  # bypasses view maintenance
+            return added
         self._invalidate()
         return added
 
@@ -300,6 +415,7 @@ class KnowledgeBase:
                 batch=self.batch, batch_min_rows=self.batch_min_rows,
                 parallel=self.parallel, parallel_min_rows=self.parallel_min_rows,
                 parallel_workers=self.parallel_workers,
+                parallel_retries=self.parallel_retries,
                 tracer=tracer, metrics=self.metrics,
             )
             answers = interpreter.run(compiled.plan, compiled.query, **bindings)
@@ -372,6 +488,7 @@ class KnowledgeBase:
                 batch=self.batch, batch_min_rows=self.batch_min_rows,
                 parallel=self.parallel, parallel_min_rows=self.parallel_min_rows,
                 parallel_workers=self.parallel_workers,
+                parallel_retries=self.parallel_retries,
                 governor=governor, tracer=tracer, metrics=self.metrics,
             )
             answers = interpreter.run(compiled.plan, compiled.query, **bindings)

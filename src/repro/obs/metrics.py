@@ -113,6 +113,14 @@ class MetricsRegistry:
     def counter_value(self, name: str, **labels: object) -> int:
         return self._counters.get(_key(name, labels), 0)
 
+    def counter_total(self, name: str) -> int:
+        """Sum of a counter across every label set (e.g. all
+        ``parallel_degradations{reason=...}`` regardless of reason)."""
+        return sum(
+            value for (series, _labels), value in self._counters.items()
+            if series == name
+        )
+
     def gauge_value(self, name: str, **labels: object) -> float | None:
         return self._gauges.get(_key(name, labels))
 

@@ -38,12 +38,16 @@ coarse bytes-per-tuple model rather than allocator noise.
 
 from __future__ import annotations
 
+import atexit
+import os
 import sqlite3
+import tempfile
+import weakref
 from typing import Iterable, Iterator, Protocol, Sequence, runtime_checkable
 
 from ..datalog.intern import INTERNER, TermInterner
 from ..datalog.terms import Term, term_from_python
-from ..errors import SchemaError
+from ..errors import SchemaError, StorageError
 from .relation import Relation, Row, SortKeyFn
 
 #: Rows per executemany slab when loading / migrating into SQLite.
@@ -51,6 +55,34 @@ _WRITE_CHUNK = 8192
 
 #: Rows per fetchmany slab when scanning or joining.
 _READ_CHUNK = 8192
+
+#: Every live spilled relation, so the atexit hook (and tests) can close
+#: stragglers whose owning Database was never explicitly closed.
+_LIVE_SPILLS: "weakref.WeakSet[SpilledRelation]" = weakref.WeakSet()
+
+
+def _dispose_spill(conn: sqlite3.Connection, path: str) -> None:
+    """Close the connection and delete the backing temp file.  Shared by
+    :meth:`SpilledRelation.close`, garbage collection, and the atexit
+    sweep — every exit path deletes the file, none may raise."""
+    try:
+        conn.close()
+    except Exception:  # pragma: no cover - interpreter-teardown noise
+        pass
+    try:
+        os.unlink(path)
+    except OSError:
+        pass
+
+
+def close_all_spills() -> None:
+    """Close every live spilled relation (the atexit path; also handy in
+    tests asserting no temp files survive)."""
+    for relation in list(_LIVE_SPILLS):
+        relation.close()
+
+
+atexit.register(close_all_spills)
 
 
 @runtime_checkable
@@ -74,6 +106,8 @@ class StorageBackend(Protocol):
 
     def resident_tuples(self, relation) -> int: ...
 
+    def close(self) -> None: ...
+
 
 class MemoryBackend:
     """Everything stays a :class:`Relation`; spilling never happens."""
@@ -91,6 +125,9 @@ class MemoryBackend:
     def resident_tuples(self, relation) -> int:
         return len(relation)
 
+    def close(self) -> None:
+        """Nothing to release: memory relations die with their Database."""
+
 
 class SqliteBackend:
     """Relations spill to temp-file SQLite once they cross the threshold."""
@@ -99,6 +136,7 @@ class SqliteBackend:
 
     def __init__(self, interner: TermInterner = INTERNER):
         self.interner = interner
+        self._spilled: list[SpilledRelation] = []
 
     def create_relation(
         self, name: str, arity: int, columns: Sequence[str] | None = None
@@ -115,12 +153,23 @@ class SqliteBackend:
             or len(relation) < threshold
         ):
             return relation
-        return SpilledRelation.from_relation(relation, self.interner)
+        spilled = SpilledRelation.from_relation(relation, self.interner)
+        self._spilled.append(spilled)
+        return spilled
 
     def resident_tuples(self, relation) -> int:
         if isinstance(relation, SpilledRelation):
             return 0
         return len(relation)
+
+    def close(self) -> None:
+        """Close every relation this backend spilled and delete their
+        temp database files.  Idempotent; called from
+        :meth:`~repro.storage.catalog.Database.close` and the module's
+        atexit sweep."""
+        for relation in self._spilled:
+            relation.close()
+        self._spilled.clear()
 
 
 def make_backend(backend: "str | StorageBackend") -> StorageBackend:
@@ -183,12 +232,17 @@ class SpilledRelation:
             tuple(columns) if columns is not None else tuple(f"c{i}" for i in range(arity))
         )
         self.interner = interner
-        # sqlite3.connect("") opens an unnamed *temp-file* database: pages
-        # live on disk (spilling is the point), the file is deleted on
-        # close, and nothing needs cleanup on abnormal exit.
-        self._conn = sqlite3.connect("")
+        # A *named* temp file (not sqlite3.connect("")): the path is known
+        # so close()/atexit can delete it deterministically, and tests can
+        # assert nothing survives a spill + close cycle.
+        fd, path = tempfile.mkstemp(prefix="repro-spill-", suffix=".db")
+        os.close(fd)
+        self.path = path
+        self._conn = sqlite3.connect(path)
         self._conn.execute("PRAGMA synchronous = OFF")
-        self._conn.execute("PRAGMA journal_mode = OFF")
+        # MEMORY (not OFF): ROLLBACK is undefined without a journal, and
+        # Database.transaction() needs a real rollback path on disk.
+        self._conn.execute("PRAGMA journal_mode = MEMORY")
         cols = ", ".join(f"c{i} INTEGER" for i in range(arity))
         self._conn.execute(f"CREATE TABLE t ({cols})")
         allcols = ", ".join(f"c{i}" for i in range(arity))
@@ -201,6 +255,9 @@ class SpilledRelation:
             f"({', '.join('?' * arity)})"
         )
         self._store: SpilledStore | None = None
+        self.closed = False
+        self._finalizer = weakref.finalize(self, _dispose_spill, self._conn, path)
+        _LIVE_SPILLS.add(self)
 
     @classmethod
     def from_relation(
@@ -225,6 +282,48 @@ class SpilledRelation:
         out._version = relation.version + 1  # the migration is a change
         return out
 
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the connection and delete the backing temp file.
+        Idempotent; also runs via GC and the atexit sweep."""
+        self.closed = True
+        self._store = None
+        self._finalizer()
+
+    # -- transactions ----------------------------------------------------------
+
+    def txn_begin(self) -> tuple[int, int, set[tuple[int, ...]]]:
+        """Commit pending autocommit work so a later ROLLBACK undoes only
+        the transaction's writes, and snapshot the Python-side bookkeeping
+        SQL cannot restore."""
+        try:
+            self._conn.commit()
+        except sqlite3.Error as err:
+            raise StorageError(f"relation {self.name!r}: begin failed: {err}") from err
+        return (self._count, self._version, set(self._sql_indexes))
+
+    def txn_rollback(self, snapshot: tuple[int, int, set[tuple[int, ...]]]) -> None:
+        """Undo every write since :meth:`txn_begin` and restore counters.
+        Index DDL also rolls back, so the recorded index set is restored
+        from the snapshot too."""
+        try:
+            self._conn.rollback()
+        except sqlite3.Error as err:
+            raise StorageError(f"relation {self.name!r}: rollback failed: {err}") from err
+        self._count, self._version, self._sql_indexes = (
+            snapshot[0],
+            snapshot[1],
+            set(snapshot[2]),
+        )
+        self._store = None
+
+    def txn_commit(self) -> None:
+        try:
+            self._conn.commit()
+        except sqlite3.Error as err:
+            raise StorageError(f"relation {self.name!r}: commit failed: {err}") from err
+
     # -- loading (mirrors Relation) -----------------------------------------
 
     def _encode_checked(self, row: Sequence[Term]) -> tuple[int, ...]:
@@ -238,7 +337,11 @@ class SpilledRelation:
             raise SchemaError(f"relation {self.name!r}: {err}") from None
 
     def insert(self, row: Sequence[Term]) -> bool:
-        cursor = self._conn.execute(self._insert_sql, self._encode_checked(row))
+        ids = self._encode_checked(row)
+        try:
+            cursor = self._conn.execute(self._insert_sql, ids)
+        except sqlite3.Error as err:
+            raise StorageError(f"relation {self.name!r}: insert failed: {err}") from err
         if cursor.rowcount != 1:
             return False
         self._count += 1
@@ -259,7 +362,10 @@ class SpilledRelation:
     def remove(self, row: Sequence[Term]) -> bool:
         ids = self._encode_checked(row)
         where = " AND ".join(f"c{i} = ?" for i in range(self.arity))
-        cursor = self._conn.execute(f"DELETE FROM t WHERE {where}", ids)
+        try:
+            cursor = self._conn.execute(f"DELETE FROM t WHERE {where}", ids)
+        except sqlite3.Error as err:
+            raise StorageError(f"relation {self.name!r}: retract failed: {err}") from err
         if cursor.rowcount != 1:
             return False
         self._count -= 1
@@ -271,7 +377,10 @@ class SpilledRelation:
         return self.remove(tuple(term_from_python(v) for v in values))
 
     def clear(self) -> None:
-        self._conn.execute("DELETE FROM t")
+        try:
+            self._conn.execute("DELETE FROM t")
+        except sqlite3.Error as err:
+            raise StorageError(f"relation {self.name!r}: clear failed: {err}") from err
         self._count = 0
         self._version += 1
         self._store = None
@@ -290,19 +399,25 @@ class SpilledRelation:
         except ValueError:
             return False
         where = " AND ".join(f"c{i} = ?" for i in range(self.arity))
-        cursor = self._conn.execute(f"SELECT 1 FROM t WHERE {where} LIMIT 1", ids)
-        return cursor.fetchone() is not None
+        try:
+            cursor = self._conn.execute(f"SELECT 1 FROM t WHERE {where} LIMIT 1", ids)
+            return cursor.fetchone() is not None
+        except sqlite3.Error as err:
+            raise StorageError(f"relation {self.name!r}: read failed: {err}") from err
 
     def __iter__(self) -> Iterator[Row]:
         """Stream-decode the extension; never materializes the whole set."""
         terms = self.interner.terms
-        cursor = self._conn.execute("SELECT * FROM t")
-        while True:
-            block = cursor.fetchmany(_READ_CHUNK)
-            if not block:
-                return
-            for ids in block:
-                yield tuple(terms[i] for i in ids)
+        try:
+            cursor = self._conn.execute("SELECT * FROM t")
+            while True:
+                block = cursor.fetchmany(_READ_CHUNK)
+                if not block:
+                    return
+                for ids in block:
+                    yield tuple(terms[i] for i in ids)
+        except sqlite3.Error as err:
+            raise StorageError(f"relation {self.name!r}: scan failed: {err}") from err
 
     @property
     def rows(self) -> frozenset[Row]:
@@ -334,13 +449,16 @@ class SpilledRelation:
             return  # non-ground key matches nothing
         where = " AND ".join(f"c{p} = ?" for p in positions) or "1"
         terms = self.interner.terms
-        cursor = self._conn.execute(f"SELECT * FROM t WHERE {where}", ids)
-        while True:
-            block = cursor.fetchmany(_READ_CHUNK)
-            if not block:
-                return
-            for row_ids in block:
-                yield tuple(terms[i] for i in row_ids)
+        try:
+            cursor = self._conn.execute(f"SELECT * FROM t WHERE {where}", ids)
+            while True:
+                block = cursor.fetchmany(_READ_CHUNK)
+                if not block:
+                    return
+                for row_ids in block:
+                    yield tuple(terms[i] for i in row_ids)
+        except sqlite3.Error as err:
+            raise StorageError(f"relation {self.name!r}: lookup failed: {err}") from err
 
     def ensure_index(self, positions: Sequence[int]) -> _SqlIndex:
         positions = tuple(positions)
@@ -409,16 +527,19 @@ class SpilledStore:
         projection, in storage order — the streaming driver for the batch
         tier's out-of-core scans."""
         select = ", ".join(f"c{p}" for p in positions) or "1"
-        cursor = self.relation._conn.execute(f"SELECT {select} FROM t")
         width = len(positions)
-        while True:
-            block = cursor.fetchmany(chunk_rows)
-            if not block:
-                return
-            if width:
-                yield [list(column) for column in zip(*block)], len(block)
-            else:
-                yield [], len(block)
+        try:
+            cursor = self.relation._conn.execute(f"SELECT {select} FROM t")
+            while True:
+                block = cursor.fetchmany(chunk_rows)
+                if not block:
+                    return
+                if width:
+                    yield [list(column) for column in zip(*block)], len(block)
+                else:
+                    yield [], len(block)
+        except sqlite3.Error as err:
+            raise StorageError(f"relation {self.name!r}: scan failed: {err}") from err
 
 
 def spilled_batch_join(
@@ -434,7 +555,24 @@ def spilled_batch_join(
     ``produced`` per match — and the governor is ticked per fetch slab,
     so budget totals match serial exactly (tick *granularity* is the
     disk tier's documented deviation, as in the parallel tier).
+
+    The ``spill:<relation>`` checkpoint at entry is the fault-injection
+    site for simulated disk failures (chaos harness); a real
+    ``sqlite3.Error`` anywhere in the join surfaces as a typed
+    :class:`~repro.errors.StorageError` instead of a raw driver
+    exception.
     """
+    if governor is not None:
+        governor.checkpoint(f"spill:{store.name}")
+    try:
+        return _spilled_batch_join(step, columns, length, store, profiler, governor)
+    except sqlite3.Error as err:
+        raise StorageError(f"relation {store.name!r}: batch join failed: {err}") from err
+
+
+def _spilled_batch_join(
+    step, columns: list[list[int]], length: int, store: SpilledStore, profiler, governor
+) -> tuple[list[list[int]], int]:
     relation = store.relation
     conn = relation._conn
 

@@ -10,13 +10,42 @@ let benchmarks pin statistics independently of the stored data.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Iterable, Iterator, Sequence
 
-from ..datalog.terms import Term
-from ..errors import SchemaError
+from ..datalog.terms import Term, term_from_python
+from ..errors import SchemaError, TransactionError
 from .backend import StorageBackend, make_backend
 from .relation import Relation
 from .statistics import RelationStats, collect_statistics
+
+
+class _Txn:
+    """Bookkeeping for one open transaction.
+
+    Memory relations get an *undo log* — reversed on rollback via the
+    same insert/remove methods, so indexes stay consistent — plus a
+    version snapshot per touched relation so the database's version
+    vector is byte-identical after a rollback.  Spilled relations use
+    SQLite's own BEGIN/ROLLBACK through their ``txn_*`` hooks.  Spill
+    migration is deferred to commit so a relation's physical class never
+    changes inside a transaction.
+    """
+
+    __slots__ = (
+        "undo", "versions", "spilled", "created", "dropped",
+        "pending_spill", "stats_cache", "stats_overrides",
+    )
+
+    def __init__(self, db: "Database"):
+        self.undo: list[tuple[object, str, tuple]] = []
+        self.versions: dict[int, tuple[Relation, int]] = {}
+        self.spilled: dict[int, tuple[object, tuple]] = {}
+        self.created: list[str] = []
+        self.dropped: dict[str, object] = {}
+        self.pending_spill: set[str] = set()
+        self.stats_cache = dict(db._stats_cache)
+        self.stats_overrides = dict(db._stats_overrides)
 
 
 class Database:
@@ -40,6 +69,98 @@ class Database:
         self._relations: dict[str, Relation] = {}
         self._stats_cache: dict[str, RelationStats] = {}
         self._stats_overrides: dict[str, RelationStats] = {}
+        self._txn: _Txn | None = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Release backend resources (spilled temp files).  An open
+        transaction is rolled back first, so close never persists a
+        half-applied group.  Idempotent."""
+        if self._txn is not None:
+            self.rollback_transaction()
+        self.backend.close()
+
+    # -- transactions --------------------------------------------------------
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._txn is not None
+
+    def begin_transaction(self) -> None:
+        """Open a transaction: all inserts/retracts through this Database
+        until commit/rollback apply atomically.  No nesting."""
+        if self._txn is not None:
+            raise TransactionError("transaction already open on this Database")
+        self._txn = _Txn(self)
+
+    def commit_transaction(self) -> None:
+        """Make the group durable: flush spilled-relation SQL transactions
+        and run the spill migrations deferred during the transaction."""
+        txn = self._txn
+        if txn is None:
+            raise TransactionError("no open transaction to commit")
+        self._txn = None
+        for relation, _snapshot in txn.spilled.values():
+            relation.txn_commit()
+        for name in sorted(txn.pending_spill):
+            if name in self._relations:
+                self._maybe_spill(name)
+
+    def rollback_transaction(self) -> None:
+        """Restore the fact base to its state at ``begin_transaction`` —
+        rows, versions, schema, and statistics caches all included."""
+        txn = self._txn
+        if txn is None:
+            raise TransactionError("no open transaction to roll back")
+        self._txn = None
+        # Memory relations: replay the undo log in reverse through the
+        # normal mutators (keeps hash indexes consistent), then pin the
+        # version back and drop version-keyed caches that could otherwise
+        # collide when the restored version is re-reached later.
+        for relation, op, row in reversed(txn.undo):
+            if op == "insert":
+                relation.remove(row)
+            else:
+                relation.insert(row)
+        for relation, version in txn.versions.values():
+            relation.txn_restore(version)
+        # Spilled relations: real SQL ROLLBACK plus bookkeeping restore.
+        for relation, snapshot in txn.spilled.values():
+            relation.txn_rollback(snapshot)
+        for name in txn.created:
+            self._relations.pop(name, None)
+        for name, relation in txn.dropped.items():
+            self._relations[name] = relation
+        self._stats_cache = dict(txn.stats_cache)
+        self._stats_overrides = dict(txn.stats_overrides)
+
+    @contextmanager
+    def transaction(self):
+        """``with db.transaction():`` — commit on normal exit, roll back
+        (restoring the database byte-identically) on any exception."""
+        self.begin_transaction()
+        try:
+            yield self
+        except BaseException:
+            self.rollback_transaction()
+            raise
+        else:
+            self.commit_transaction()
+
+    def _txn_touch(self, relation) -> bool:
+        """Record first contact with *relation* inside the open
+        transaction.  Returns True when mutations must be undo-logged
+        (memory relation); False when SQLite's rollback covers them."""
+        txn = self._txn
+        key = id(relation)
+        if isinstance(relation, Relation):
+            if key not in txn.versions:
+                txn.versions[key] = (relation, relation._version)
+            return True
+        if key not in txn.spilled:
+            txn.spilled[key] = (relation, relation.txn_begin())
+        return False
 
     # -- schema ------------------------------------------------------------
 
@@ -49,6 +170,8 @@ class Database:
             raise SchemaError(f"relation {name!r} already exists")
         relation = self.backend.create_relation(name, arity, columns)
         self._relations[name] = relation
+        if self._txn is not None:
+            self._txn.created.append(name)
         return relation
 
     def add_relation(self, relation: Relation) -> Relation:
@@ -59,9 +182,11 @@ class Database:
         return relation
 
     def drop(self, name: str) -> None:
-        self._relations.pop(name, None)
+        dropped = self._relations.pop(name, None)
         self._stats_cache.pop(name, None)
         self._stats_overrides.pop(name, None)
+        if self._txn is not None and dropped is not None and name not in self._txn.created:
+            self._txn.dropped.setdefault(name, dropped)
 
     # -- access ------------------------------------------------------------
 
@@ -105,9 +230,18 @@ class Database:
         if relation is None:
             relation = self.create(name, len(row))
         self._stats_cache.pop(name, None)
+        txn = self._txn
+        if txn is None:
+            added = relation.insert(row)
+            if added:
+                self._maybe_spill(name)
+            return added
+        log_undo = self._txn_touch(relation)
         added = relation.insert(row)
         if added:
-            self._maybe_spill(name)
+            if log_undo:
+                txn.undo.append((relation, "insert", tuple(row)))
+            txn.pending_spill.add(name)
         return added
 
     def load(self, name: str, rows: Iterable[Sequence[object]]) -> int:
@@ -119,9 +253,22 @@ class Database:
                 raise SchemaError(f"cannot infer arity of new relation {name!r} from no rows")
             relation = self.create(name, len(rows[0]))
         self._stats_cache.pop(name, None)
-        added = relation.load(rows)
+        txn = self._txn
+        if txn is None:
+            added = relation.load(rows)
+            if added:
+                self._maybe_spill(name)
+            return added
+        log_undo = self._txn_touch(relation)
+        added = 0
+        for row in rows:
+            term_row = tuple(term_from_python(v) for v in row)
+            if relation.insert(term_row):
+                added += 1
+                if log_undo:
+                    txn.undo.append((relation, "insert", term_row))
         if added:
-            self._maybe_spill(name)
+            txn.pending_spill.add(name)
         return added
 
     def _maybe_spill(self, name: str) -> None:
@@ -147,10 +294,15 @@ class Database:
     def retract(self, name: str, rows: Iterable[Sequence[object]]) -> int:
         """Remove plain-value tuples from *name*; returns how many existed."""
         relation = self.relation(name)
+        txn = self._txn
+        log_undo = self._txn_touch(relation) if txn is not None else False
         removed = 0
         for row in rows:
-            if relation.remove_values(tuple(row)):
+            term_row = tuple(term_from_python(v) for v in row)
+            if relation.remove(term_row):
                 removed += 1
+                if log_undo:
+                    txn.undo.append((relation, "remove", term_row))
         if removed:
             self._stats_cache.pop(name, None)
         return removed

@@ -153,6 +153,22 @@ class Relation:
             index.clear()
         self._batch = None
 
+    def txn_restore(self, version: int) -> None:
+        """Rewind the version counter after a transaction rollback.
+
+        The undo log replays through :meth:`insert`/:meth:`remove`, so
+        rows and hash indexes are already back to their pre-transaction
+        state — but every replayed mutation bumped ``_version``.  Restoring
+        the old counter keeps the result-cache version vector stable, and
+        therefore the derived caches keyed on it must be dropped: a
+        :class:`SortedOrderCache` or columnar mirror built *inside* the
+        aborted transaction would otherwise validate against the reused
+        version number while describing discarded rows.
+        """
+        self._version = version
+        self._batch = None
+        self._sorted = SortedOrderCache()
+
     # -- access ----------------------------------------------------------------
 
     def __iter__(self) -> Iterator[Row]:

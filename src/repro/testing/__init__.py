@@ -16,7 +16,10 @@ are answer-equivalent.  This package enforces that mechanically:
   cost model's internal consistency (the exhaustive optimum really is
   the minimum over the enumerated orders);
 * :mod:`~repro.testing.sweep` — the CLI driver
-  (``python -m repro.testing.sweep --seed 0 --count 200``).
+  (``python -m repro.testing.sweep --seed 0 --count 200``);
+* :mod:`~repro.testing.chaos` — seeded fault sweeps (worker crashes,
+  injected I/O errors, aborted transactions) asserting the
+  fault-tolerance contract (``python -m repro.testing.chaos``).
 """
 
 from .oracle import (
@@ -30,11 +33,16 @@ from .oracle import (
     case_to_dict,
     strategy_names,
 )
+from .chaos import ChaosCaseResult, ChaosReport, chaos_case, run_sweep
 from .metamorphic import MetamorphicChecker
 from .shrink import shrink_case, to_corpus_dict, to_pytest_source
 
 __all__ = [
     "Case",
+    "ChaosCaseResult",
+    "ChaosReport",
+    "chaos_case",
+    "run_sweep",
     "DifferentialOracle",
     "Disagreement",
     "MetamorphicChecker",

@@ -266,3 +266,47 @@ def test_no_threshold_means_no_resident_accounting():
     result = evaluate_program(db, parse_program("q(X, Y) <- e(X, Y)."),
                               governor=_budgeted_governor())
     assert len(result["q"]) == 2_000
+
+
+# ------------------------------------------------------- temp-file lifecycle
+
+
+def _spill_files():
+    import glob
+    import os
+    import tempfile
+
+    return set(glob.glob(os.path.join(tempfile.gettempdir(), "repro-spill-*.db")))
+
+
+def test_spill_and_close_cycle_leaves_no_temp_files():
+    """Satellite regression: every spilled relation's on-disk SQLite file
+    is deleted by ``Database.close()`` — none survive a spill + close
+    cycle, no matter how many relations spilled."""
+    before = _spill_files()
+    db = Database(backend="sqlite", spill_threshold=4)
+    for name in ("e", "f", "g"):
+        db.load(name, chain(10))
+        assert isinstance(db.relation(name), SpilledRelation)
+    created = _spill_files() - before
+    assert len(created) == 3
+    db.close()
+    assert _spill_files() - before == set()
+
+
+def test_database_close_is_idempotent_and_rolls_back_open_txns():
+    db = Database(backend="sqlite", spill_threshold=4)
+    db.load("e", chain(10))
+    db.begin_transaction()
+    db.load("e", [("x", "y")])
+    db.close()
+    assert not db.in_transaction
+    db.close()  # second close is a no-op
+
+
+def test_backend_close_allows_reuse_of_the_database_object():
+    """Closing disposes spill files; the memory backend stays usable."""
+    db = Database(backend="memory")
+    db.load("e", chain(5))
+    db.close()
+    assert len(db.relation("e")) == 5

@@ -1,0 +1,46 @@
+"""The chaos harness itself: a short seeded sweep must be green.
+
+CI's ``chaos`` job runs the long sweep (``python -m repro.testing.chaos
+--count 100``); this tier-1 slice keeps the harness importable, the
+scenario dispatch exercised, and the no-violation contract pinned on a
+handful of seeds so a regression shows up in the default test run, not
+only in the nightly-style job.
+"""
+
+import pytest
+
+from repro.testing import chaos_case, run_sweep
+from repro.testing.chaos import SCENARIOS, check_no_leaked_workers
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _pool_teardown():
+    yield
+    check_no_leaked_workers()
+
+
+def test_every_scenario_name_is_reachable():
+    # the scenario picker is seeded; over enough seeds all arms appear
+    seen = set()
+    seed = 0
+    while len(seen) < len(SCENARIOS) and seed < 200:
+        import random
+
+        rng = random.Random(seed * 2654435761 % (2**31))
+        seen.add(rng.choice(SCENARIOS))
+        seed += 1
+    assert seen == set(SCENARIOS)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_chaos_case_has_no_violations(seed):
+    result = chaos_case(seed)
+    assert result.ok, result.violations
+    assert result.queries > 0
+
+
+def test_short_sweep_reports_and_leaves_no_workers():
+    report = run_sweep(seed=100, count=6)
+    assert report.ok, report.violations
+    assert report.cases == 6
+    assert not check_no_leaked_workers()

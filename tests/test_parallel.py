@@ -29,6 +29,7 @@ from repro.engine.parallel import (
     get_pool,
     shutdown_pools,
 )
+from repro.errors import ParallelRoundError
 from repro.engine.profiler import Profiler
 from repro.errors import ExecutionError, TupleBudgetExceeded
 from repro.obs.metrics import MetricsRegistry
@@ -168,17 +169,26 @@ def test_fault_injection_parity():
             )
 
 
-def test_dead_worker_poisons_the_dispatch():
-    """A worker dying mid-dispatch surfaces as ExecutionError and closes
-    the pool, so no later query can barrier on a half-dead pipe set."""
+def test_dead_worker_is_repaired_not_poisoning():
+    """A worker dying mid-round raises ParallelRoundError but leaves the
+    pool repaired and usable: the failed worker is respawned (shipped map
+    reset for a full re-broadcast) and the same round re-runs as-is."""
     pool = ParallelPool(2)
-    pool._procs[0].terminate()
-    pool._procs[0].join(timeout=5.0)
+    victim = pool._procs[0]
+    victim.kill()
+    victim.join(timeout=5.0)
     task = {"columns": [[1]], "length": 1, "emit_cap": None, "deadline": None,
             "steps": [], "head": ((0,), (None,))}
-    with pytest.raises(ExecutionError):
+    with pytest.raises(ParallelRoundError):
         pool.run([task, task], {})
-    assert pool.closed
+    assert not pool.closed
+    assert pool.alive()
+    assert pool.repairs == 1
+    assert pool._procs[0] is not victim
+    assert pool._shipped[0] == {}
+    results = pool.run([task, task], {})
+    assert results[0]["head"] == {(1,)} and results[1]["head"] == {(1,)}
+    pool.close()
 
 
 def test_engine_respawns_a_dead_pool_transparently():

@@ -1,0 +1,167 @@
+"""Parallel round recovery: retry, repair, and the tier-degradation ladder.
+
+PR 6's pool poisoned itself on any worker death.  The recovery contract
+(docs/robustness.md) replaces that: a fan-out round is an idempotent
+descriptor, so a worker SIGKILLed or cut off mid-round is respawned and
+the round retried (bounded, exponential backoff); when retries are
+exhausted the rule degrades parallel → serial batch → row with identical
+answers, a ``parallel_degradations{reason}`` metric, and a structured
+warning span.  These tests drive both paths with the crash-shaped fault
+actions from :mod:`repro.engine.faults`.
+"""
+
+import pytest
+
+from repro.cli import build_parser
+from repro.datalog.parser import parse_program
+from repro.engine.faults import FaultInjector
+from repro.engine.fixpoint import evaluate_program
+from repro.engine.governor import ResourceGovernor
+from repro.engine.parallel import shutdown_pools
+from repro.engine.profiler import Profiler
+from repro.kb import KnowledgeBase
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.storage import Database
+
+TC = "p(X, Y) <- e(X, Y). p(X, Y) <- e(X, Z), p(Z, Y)."
+
+
+def chain_database(n: int) -> Database:
+    db = Database()
+    db.load("e", [(f"n{i}", f"n{i + 1}") for i in range(n)])
+    return db
+
+
+def run(db, source, parallel, *, retries=None, governor=None, tracer=None,
+        metrics=None):
+    kwargs = {}
+    if retries is not None:
+        kwargs["parallel_retries"] = retries
+    result = evaluate_program(
+        db,
+        parse_program(source),
+        profiler=Profiler(),
+        batch=True,
+        batch_min_rows=0,
+        parallel=parallel,
+        parallel_min_rows=0,
+        parallel_workers=2,
+        governor=governor if governor is not None else False,
+        tracer=tracer if tracer is not None else NULL_TRACER,
+        metrics=metrics,
+        **kwargs,
+    )
+    return result
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _pool_teardown():
+    yield
+    shutdown_pools()
+
+
+def baseline(n=40):
+    return run(chain_database(n), TC, parallel=False).relations
+
+
+# --------------------------------------------------------------- retry path
+
+
+def test_sigkilled_worker_round_is_retried_with_identical_answers():
+    # "join:p:e" is the parallel plan's step-0 (parent) checkpoint: the
+    # kill lands after the pool is acquired, so the loss is mid-round
+    faults = FaultInjector().inject("join:p:e", after=3, kill_worker=True)
+    metrics = MetricsRegistry()
+    governor = ResourceGovernor(faults=faults).arm()
+    result = run(chain_database(40), TC, parallel=True,
+                 governor=governor, metrics=metrics)
+    assert result.relations == baseline()
+    assert faults.fired_count() == 1
+    assert metrics.counter_total("parallel_round_retries_total") >= 1
+    assert metrics.counter_total("parallel_degradations") == 0
+
+
+def test_dropped_pipe_round_is_retried_with_identical_answers():
+    faults = FaultInjector().inject("join:*", after=2, drop_pipe=True)
+    metrics = MetricsRegistry()
+    governor = ResourceGovernor(faults=faults).arm()
+    result = run(chain_database(40), TC, parallel=True,
+                 governor=governor, metrics=metrics)
+    assert result.relations == baseline()
+    assert metrics.counter_total("parallel_round_retries_total") >= 1
+    assert metrics.counter_total("parallel_degradations") == 0
+
+
+def test_retry_emits_a_recovery_span():
+    # "join:p:e" is the parallel plan's step-0 (parent) checkpoint: the
+    # kill lands after the pool is acquired, so the loss is mid-round
+    faults = FaultInjector().inject("join:p:e", after=3, kill_worker=True)
+    tracer = Tracer()
+    governor = ResourceGovernor(faults=faults, tracer=tracer).arm()
+    result = run(chain_database(40), TC, parallel=True,
+                 governor=governor, tracer=tracer)
+    assert result.relations == baseline()
+    retry_spans = [s for s in tracer.spans if s.name == "parallel_retry"]
+    assert retry_spans and retry_spans[0].kind == "recovery"
+    assert retry_spans[0].attrs["attempt"] == 1
+
+
+# --------------------------------------------------------- degradation path
+
+
+def test_exhausted_retries_degrade_to_serial_with_identical_answers():
+    """retries=0 with a kill every round: every parallel attempt dies,
+    every rule degrades to the serial batch tier, answers unchanged."""
+    faults = FaultInjector().inject("join:p:e", kill_worker=True, times=1000)
+    metrics = MetricsRegistry()
+    tracer = Tracer()
+    governor = ResourceGovernor(faults=faults, tracer=tracer).arm()
+    result = run(chain_database(40), TC, parallel=True, retries=0,
+                 governor=governor, tracer=tracer, metrics=metrics)
+    assert result.relations == baseline()
+    assert metrics.counter_total("parallel_degradations") >= 1
+    warn = [s for s in tracer.spans if s.name == "degrade:parallel->batch"]
+    assert warn and warn[0].kind == "warning"
+    assert warn[0].attrs["reason"] == "worker_lost"
+
+
+def test_degraded_run_still_counts_retries_per_attempt():
+    faults = FaultInjector().inject("join:p:e", kill_worker=True, times=1000)
+    metrics = MetricsRegistry()
+    governor = ResourceGovernor(faults=faults).arm()
+    result = run(chain_database(40), TC, parallel=True, retries=1,
+                 governor=governor, metrics=metrics)
+    assert result.relations == baseline()
+    # each degraded round burned its full retry budget first
+    assert metrics.counter_total("parallel_round_retries_total") >= 2
+
+
+# ------------------------------------------------------------------ plumbing
+
+
+def test_round_deadline_is_none_without_a_deadline():
+    governor = ResourceGovernor().arm()
+    assert governor.round_deadline() is None
+
+
+def test_round_deadline_tracks_the_remaining_budget():
+    import time
+
+    governor = ResourceGovernor(deadline_seconds=30.0).arm()
+    cutoff = governor.round_deadline(grace=2.0)
+    assert cutoff is not None
+    assert 0 < cutoff - time.time() <= 32.5
+
+
+def test_cli_flag_reaches_the_knowledge_base():
+    args = build_parser().parse_args(["--parallel-retries", "5"])
+    assert args.parallel_retries == 5
+    kb = KnowledgeBase(parallel_retries=args.parallel_retries)
+    assert kb.parallel_retries == 5
+
+
+def test_default_retries_are_bounded():
+    from repro.engine.parallel import DEFAULT_PARALLEL_RETRIES
+
+    assert 1 <= DEFAULT_PARALLEL_RETRIES <= 5
