@@ -30,6 +30,8 @@ SUMMARY_COLUMNS = [
     ("parallel_speedup", "par", "{:.2f}x"),
     ("weighted_traced_off_overhead", "ovh", "{:.3f}x"),
     ("geomean_tracer_overhead", "trace", "{:.3f}x"),
+    ("feedback_work_gain", "fbgain", "{:.2f}x"),
+    ("feedback_overhead", "fbovh", "{:.3f}x"),
 ]
 
 

@@ -34,6 +34,18 @@ reports its geomean overall and over the EXP-9 large-delta family.
 against an unchanged database must be served from the cross-query
 result cache at least that many times faster than the cold run.
 
+The ``feedback_skew`` arm is the PR8 est/act-loop gate: a skewed join
+whose static estimate is wrong by an order of magnitude runs cold, the
+cardinality feedback store harvests the actuals, the worst q-error
+crosses the re-optimization threshold, and the *second* run executes a
+different, learned plan.  ``--min-feedback-gain`` gates the measured
+tuple-work ratio (first plan work / learned plan work — deterministic,
+no timers involved); the entry also requires the plans to differ and
+the answers to stay identical.  ``feedback_overhead`` is the cost of
+the always-on collector: ``kb.ask`` with the feedback harvest vs
+``feedback=False``, tracing off, caches off — gated by
+``--max-feedback-overhead`` (budget <=1.05x).
+
 ``--min-parallel-speedup`` gates the PR6 *scale* workload — frontier
 reachability over a large random digraph, serial batch tier vs the
 hash-partitioned worker pool (``--parallel-workers``, default 4).  The
@@ -49,7 +61,7 @@ parallel scale query with the default retry budget vs
 both ratios must sit at noise level; ``--max-overhead`` bounds them
 alongside the traced-off ratio.
 
-The default output is ``BENCH_PR7.json`` at the repository root; each
+The default output is ``BENCH_PR8.json`` at the repository root; each
 PR bumps the suffix so the perf trajectory stays reviewable in-tree
 (``benchmarks/compare_bench.py`` prints the BENCH_PR*.json series).
 """
@@ -372,6 +384,143 @@ def warm_cache_workload(n: int, repeats: int) -> dict:
     return entry
 
 
+def feedback_workload(fanout: int, distinct: int, repeats: int,
+                      threshold: float = 4.0) -> dict:
+    """The PR8 est/act loop A/B: ``hot(k0)`` fans out to *fanout* rows
+    while every other key has one, so the static per-bound-key guess
+    (``card / ndv ~ 2.5``) is off by two orders of magnitude for the
+    very key the query asks about, and the DP planner leads with the
+    skewed relation.  The cold run harvests actuals into the feedback
+    store, the worst q-error crosses *threshold*, the cached plan is
+    evicted, and the second run executes a re-optimized filt-first plan
+    built from learned cardinalities.
+
+    The gated number is ``feedback_work_gain`` — measured tuple work of
+    the static plan over the learned plan, from the deterministic
+    profiler, so machine speed never enters the verdict.  The entry
+    also records that the two plans actually differ, that the re-opt
+    trigger fired, and that both runs produced identical answers.
+    """
+    hot = [("k0", f"v{i}") for i in range(fanout)]
+    hot += [(f"k{j}", "v0") for j in range(1, distinct)]
+    filt = [(f"v{i}",) for i in range(8)]
+    wide = [(f"v{i}", f"w{i}") for i in range(fanout)]
+    query = "out($K, W)?"
+
+    first_walls: list[float] = []
+    second_walls: list[float] = []
+    first_work = second_work = 0
+    plan_before = plan_after = ""
+    match = True
+    reopt_fired = True
+    for _ in range(max(repeats, 3)):
+        kb = KnowledgeBase(
+            OptimizerConfig(strategy="dp", seed=0),
+            result_cache=False,
+            reopt_qerror_threshold=threshold,
+        )
+        kb.rules("out(K, W) <- hot(K, V), filt(V), wide(V, W).")
+        kb.facts("hot", hot)
+        kb.facts("filt", filt)
+        kb.facts("wide", wide)
+        plan_before = kb.explain(query)
+        cold_profiler = Profiler()
+        start = time.perf_counter()
+        cold = kb.ask(query, K="k0", profiler=cold_profiler)
+        first_walls.append(time.perf_counter() - start)
+        reopt_fired = reopt_fired and bool(kb.telemetry.last["reopt"])
+        plan_after = kb.explain(query)  # re-planned with learned cards
+        warm_profiler = Profiler()
+        start = time.perf_counter()
+        warm = kb.ask(query, K="k0", profiler=warm_profiler)
+        second_walls.append(time.perf_counter() - start)
+        match = match and (
+            sorted(cold.to_python()) == sorted(warm.to_python())
+        )
+        first_work = cold_profiler.total_work
+        second_work = warm_profiler.total_work
+    plans_differ = plan_before != plan_after
+    work_gain = first_work / max(second_work, 1)
+    entry = {
+        "workload": f"feedback_skew_f{fanout}_d{distinct}",
+        "query": query,
+        "answers": len(cold.to_python()),
+        "results_match": match,
+        "reopt_fired": reopt_fired,
+        "plans_differ": plans_differ,
+        "static_work": first_work,
+        "learned_work": second_work,
+        "feedback_work_gain": work_gain,
+        "static_wall_s": min(first_walls),
+        "learned_wall_s": min(second_walls),
+        "feedback_speedup": _median_ratio(first_walls, second_walls),
+    }
+    print(
+        f"  {entry['workload']:<28} gain {work_gain:>5.2f}x work "
+        f"({first_work:>8} -> {second_work:>8})  wall "
+        f"{entry['feedback_speedup']:>5.2f}x  "
+        f"reopt {'yes' if reopt_fired else 'NO'}  "
+        f"replan {'yes' if plans_differ else 'NO'}  "
+        f"[{'ok' if match else 'MISMATCH'}]"
+    )
+    return entry
+
+
+def feedback_overhead_workload(n: int, repeats: int) -> dict:
+    """Collector-tax A/B: the always-on per-query feedback harvest
+    (``kb.ask`` walking node stats, folding EMAs, updating telemetry)
+    vs ``feedback=False``.  Tracing off, result cache off, and the
+    re-opt threshold parked at infinity so both arms execute the same
+    static plan every round — any measured gap is pure collector
+    bookkeeping.  Budget: <=1.05x.
+    """
+    def build(feedback: bool) -> KnowledgeBase:
+        kb = KnowledgeBase(
+            OptimizerConfig(recursive_methods=("seminaive",)),
+            result_cache=False,
+            feedback=feedback,
+            reopt_qerror_threshold=float("inf"),
+        )
+        kb.rules(ANC)
+        kb.facts("par", [(f"n{i}", f"n{i + 1}") for i in range(n)])
+        return kb
+
+    on = build(True)
+    off = build(False)
+    query = "anc($X, Y)?"
+    on.ask(query, X="n0")  # untimed warm-up: compile + plan caches
+    off.ask(query, X="n0")
+    on_walls: list[float] = []
+    off_walls: list[float] = []
+    match = True
+    for _ in range(max(repeats, 5)):
+        start = time.perf_counter()
+        a_on = on.ask(query, X="n0")
+        on_walls.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        a_off = off.ask(query, X="n0")
+        off_walls.append(time.perf_counter() - start)
+        match = match and (a_on.to_python() == a_off.to_python())
+    overhead = _median_ratio(on_walls, off_walls)
+    entry = {
+        "workload": f"feedback_overhead_n{n}",
+        "query": query,
+        "results_match": match,
+        "feedback_on_wall_s": min(on_walls),
+        "feedback_off_wall_s": min(off_walls),
+        "feedback_overhead": overhead,
+        "feedback_entries": len(on.feedback),
+    }
+    print(
+        f"  {entry['workload']:<28} collector {overhead:>6.3f}x "
+        f"({min(off_walls) * 1e3:8.2f}ms off -> "
+        f"{min(on_walls) * 1e3:8.2f}ms on, "
+        f"{entry['feedback_entries']} entries)  "
+        f"[{'ok' if match else 'MISMATCH'}]"
+    )
+    return entry
+
+
 def txn_recovery_workload(n: int, repeats: int, workers: int) -> dict:
     """The PR7 robustness-tax A/B: the same work with and without the
     fault-tolerance layer engaged, both ratios expected at noise level.
@@ -460,7 +609,7 @@ def txn_recovery_workload(n: int, repeats: int, workers: int) -> dict:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true", help="small sizes (CI)")
-    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_PR7.json"))
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_PR8.json"))
     parser.add_argument("--parallel-workers", type=int, default=4,
                         help="pool size for the scale workload's parallel arm")
     parser.add_argument("--min-parallel-speedup", type=float, default=None,
@@ -475,6 +624,15 @@ def main(argv: list[str] | None = None) -> int:
                         help="fail if the warm-cache workload's cached "
                              "repeat is not at least this much faster "
                              "than its cold run")
+    parser.add_argument("--min-feedback-gain", type=float, default=None,
+                        help="fail unless the feedback-informed second "
+                             "run of the skewed-join workload re-plans "
+                             "and does at least this factor less "
+                             "measured tuple work than the static plan")
+    parser.add_argument("--max-feedback-overhead", type=float, default=None,
+                        help="fail if the always-on feedback collector "
+                             "costs more than this wall ratio vs "
+                             "feedback=False (budget: 1.05)")
     args = parser.parse_args(argv)
 
     repeats = 3 if args.smoke else 5
@@ -494,6 +652,12 @@ def main(argv: list[str] | None = None) -> int:
         workloads.append(exp7_bom(16, 4, 3, repeats))
 
     warm = warm_cache_workload(60 if args.smoke else 200, repeats)
+    if args.smoke:
+        feedback = feedback_workload(400, 266, repeats)
+        feedback_tax = feedback_overhead_workload(400, repeats)
+    else:
+        feedback = feedback_workload(2_000, 1_300, repeats)
+        feedback_tax = feedback_overhead_workload(1_500, repeats)
     txn = txn_recovery_workload(2_000 if args.smoke else 10_000, repeats,
                                 args.parallel_workers)
     if args.smoke:
@@ -510,6 +674,10 @@ def main(argv: list[str] | None = None) -> int:
         mismatches.append(scale["workload"])
     if not txn["results_match"]:
         mismatches.append(txn["workload"])
+    if not feedback["results_match"]:
+        mismatches.append(feedback["workload"])
+    if not feedback_tax["results_match"]:
+        mismatches.append(feedback_tax["workload"])
     slower = [w["workload"] for w in workloads if w["speedup"] < 1.0]
     more_work = [w["workload"] for w in workloads if w["work_ratio"] < 1.0]
     exp9 = [w for w in workloads if w["workload"].startswith("exp9")]
@@ -522,6 +690,8 @@ def main(argv: list[str] | None = None) -> int:
         "warm_cache": warm,
         "scale": scale,
         "txn_recovery": txn,
+        "feedback": feedback,
+        "feedback_overhead": feedback_tax,
         "summary": {
             "geomean_speedup": _geomean([w["speedup"] for w in workloads]),
             "geomean_work_ratio": _geomean([w["work_ratio"] for w in workloads]),
@@ -535,6 +705,10 @@ def main(argv: list[str] | None = None) -> int:
             "parallel_speedup": scale["parallel_speedup"],
             "txn_overhead": txn["txn_overhead"],
             "recovery_overhead": txn["recovery_overhead"],
+            "feedback_work_gain": feedback["feedback_work_gain"],
+            "feedback_replan": feedback["plans_differ"] and feedback["reopt_fired"],
+            "feedback_speedup": feedback["feedback_speedup"],
+            "feedback_overhead": feedback_tax["feedback_overhead"],
             "parallel_gate_enforceable": scale["gate_enforceable"],
             "geomean_traced_off_overhead": _geomean(
                 [w["traced_off_overhead"] for w in workloads]
@@ -570,6 +744,8 @@ def main(argv: list[str] | None = None) -> int:
         f"{'' if scale['gate_enforceable'] else ' (1-core: informational)'}, "
         f"txn overhead {txn['txn_overhead']:.3f}x / recovery "
         f"{txn['recovery_overhead']:.3f}x, "
+        f"feedback gain {feedback['feedback_work_gain']:.2f}x work / "
+        f"collector {feedback_tax['feedback_overhead']:.3f}x, "
         f"work ratio {report['summary']['geomean_work_ratio']:.2f}x, "
         f"traced-off overhead {overhead:.3f}x weighted "
         f"({report['summary']['geomean_traced_off_overhead']:.3f}x geomean), "
@@ -618,6 +794,33 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"WARM-CACHE SPEEDUP {warm['warm_speedup']:.1f}x below bound "
             f"{args.min_warm_speedup:.1f}x",
+            file=sys.stderr,
+        )
+        return 1
+    if args.min_feedback_gain is not None:
+        if not (feedback["reopt_fired"] and feedback["plans_differ"]):
+            print(
+                "FEEDBACK REPLAN did not happen: reopt_fired="
+                f"{feedback['reopt_fired']} plans_differ="
+                f"{feedback['plans_differ']}",
+                file=sys.stderr,
+            )
+            return 1
+        if feedback["feedback_work_gain"] < args.min_feedback_gain:
+            print(
+                f"FEEDBACK WORK GAIN {feedback['feedback_work_gain']:.2f}x "
+                f"below bound {args.min_feedback_gain:.2f}x",
+                file=sys.stderr,
+            )
+            return 1
+    if (
+        args.max_feedback_overhead is not None
+        and feedback_tax["feedback_overhead"] > args.max_feedback_overhead
+    ):
+        print(
+            f"FEEDBACK COLLECTOR OVERHEAD "
+            f"{feedback_tax['feedback_overhead']:.3f}x exceeds bound "
+            f"{args.max_feedback_overhead:.3f}x",
             file=sys.stderr,
         )
         return 1

@@ -63,6 +63,7 @@ class BodyEstimator:
         derived_oracle: DerivedOracle | None = None,
         extra_stats: Mapping[str, RelationStats] | None = None,
         builtins=None,
+        feedback=None,
     ):
         self.stats = stats
         self.params = params or CostParams()
@@ -72,6 +73,10 @@ class BodyEstimator:
         self.extra_stats: dict[str, RelationStats] = dict(extra_stats or {})
         #: registry of built-in (infinite) predicates with declared modes
         self.builtins = builtins
+        #: learned-selectivity source (duck-typed as
+        #: :class:`repro.obs.feedback.FeedbackStore`): observed per-probe
+        #: fanouts take precedence over the static independence guesses
+        self.feedback = feedback
 
     # -- statistics access ---------------------------------------------------
 
@@ -179,6 +184,12 @@ class BodyEstimator:
             literal, distincts, state
         )
         per_probe = stats.cardinality * selectivity
+        if self.feedback is not None and not math.isinf(per_probe):
+            learned = self.feedback.learned_fanout(
+                literal, state.bound, method, per_probe
+            )
+            if learned is not None:
+                per_probe = learned
         out_card = clamp_card(scaled(state.card, per_probe), params)
 
         n = stats.cardinality

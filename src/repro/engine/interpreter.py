@@ -265,6 +265,12 @@ class Interpreter:
         governor = self.governor
         tracer = self.tracer
         head_name = node.rule.head.predicate
+        # Remember the join's input width: the feedback store divides each
+        # step's output rows by its predecessor's to learn per-row fanouts.
+        node_stats = self.node_stats.setdefault(
+            id(node), {"calls": 0, "cached_calls": 0, "rows": 0}
+        )
+        node_stats["in_rows"] = max(node_stats.get("in_rows", 0), len(table.rows))
         for step in node.steps:
             if not table.rows:
                 return table

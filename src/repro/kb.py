@@ -23,6 +23,7 @@ a single time and can then be executed for many values of ``$X``
 
 from __future__ import annotations
 
+import time
 from contextlib import contextmanager
 from typing import Iterable, Sequence
 
@@ -31,13 +32,22 @@ from .datalog.parser import parse_program, parse_query
 from .datalog.rules import Program, Rule
 from .engine.interpreter import Interpreter, QueryAnswers
 from .engine.profiler import Profiler
-from .errors import KnowledgeBaseError, TransactionError
+from .errors import KnowledgeBaseError, ResourceExhausted, TransactionError
+from .obs.feedback import FeedbackStore
 from .obs.metrics import MetricsRegistry
+from .obs.telemetry import TelemetryLog
 from .obs.tracer import NULL_TRACER
 from .optimizer.optimizer import OptimizedQuery, Optimizer, OptimizerConfig
 from .plans.printer import explain
 from .storage.catalog import Database
 from .storage.loader import load_facts_text
+
+#: q-error histogram buckets: powers of two, since q >= 1 by definition
+#: and misestimates compound multiplicatively.
+QERROR_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 1024)
+
+#: stand-in for an infinite q-error in the histogram (sums must be finite)
+_QERROR_CEIL = 1e300
 
 
 class _KbTxn:
@@ -87,6 +97,24 @@ class KnowledgeBase:
     governor, or tracer bypass the cache — those arguments signal that
     the caller wants a measured / governed / traced *execution*, and a
     hit would observably change what they record.
+
+    *feedback* controls the cardinality feedback loop
+    (:mod:`repro.obs.feedback`): ``True`` (default) keeps an in-memory
+    store, a path string persists it as JSONL across restarts, a
+    :class:`~repro.obs.feedback.FeedbackStore` instance is used as-is,
+    and ``False`` disables the loop entirely.  Every executed plan is
+    harvested from the interpreter's always-on per-node counters (no
+    tracer needed); learned selectivities feed the next optimization,
+    and when a plan's observed worst q-error reaches
+    *reopt_qerror_threshold* its plan-cache entry is evicted so the next
+    ask re-plans with the evidence (at most once per cached form between
+    invalidations — no ping-pong).  Feedback changes plans, never
+    answers.
+
+    Every query also lands one record in :attr:`telemetry` — a
+    :class:`~repro.obs.telemetry.TelemetryLog` ring buffer (wall time,
+    tier taken, cache hit/miss, governor denials, worst q-error) whose
+    *telemetry_sink* can stream ``repro.telemetry/1`` JSONL.
     """
 
     def __init__(
@@ -103,6 +131,10 @@ class KnowledgeBase:
         spill_threshold: int | None = None,
         result_cache: bool = True,
         result_cache_size: int = 256,
+        feedback: "bool | str | FeedbackStore" = True,
+        reopt_qerror_threshold: float = 16.0,
+        telemetry_capacity: int = 256,
+        telemetry_sink=None,
     ):
         from .datalog.builtins import default_builtins
 
@@ -128,6 +160,22 @@ class KnowledgeBase:
         #: governor denials, kernel compiles, ...); exportable via
         #: ``metrics.to_json()`` / ``metrics.to_prometheus_text()``
         self.metrics = MetricsRegistry()
+        #: the cardinality feedback store, or None when feedback=False
+        if feedback is True:
+            self.feedback: FeedbackStore | None = FeedbackStore()
+        elif feedback is False or feedback is None:
+            self.feedback = None
+        elif isinstance(feedback, FeedbackStore):
+            self.feedback = feedback
+        else:
+            self.feedback = FeedbackStore(feedback)
+        self.reopt_qerror_threshold = reopt_qerror_threshold
+        #: per-query telemetry ring buffer (see module docstring)
+        self.telemetry = TelemetryLog(telemetry_capacity, sink=telemetry_sink)
+        #: plan-cache keys whose entry was already evicted for q-error
+        #: since the last invalidation — re-opt fires once per form, not
+        #: on every execution of the (possibly still misestimated) replan
+        self._reopt_fired: set[tuple[str, str]] = set()
 
     # ----------------------------------------------------------- transactions
 
@@ -164,6 +212,7 @@ class KnowledgeBase:
             # rules/stats; drop them (they rebuild lazily and cheaply).
             self._optimizer = None
             self._compiled.clear()
+            self._reopt_fired.clear()
             self.metrics.inc("transactions_total", outcome="rollback")
             raise
         else:
@@ -187,8 +236,12 @@ class KnowledgeBase:
 
     def close(self) -> None:
         """Release storage resources (rolls back any open transaction,
-        deletes spilled temp files).  Idempotent."""
+        deletes spilled temp files), flush the feedback store, and close
+        the telemetry sink.  Idempotent."""
         self._txn = None
+        if self.feedback is not None:
+            self.feedback.flush()
+        self.telemetry.close()
         self.db.close()
 
     # ----------------------------------------------------------- loading
@@ -334,6 +387,7 @@ class KnowledgeBase:
     def _invalidate(self, keep_views: bool = False) -> None:
         self._optimizer = None
         self._compiled.clear()
+        self._reopt_fired.clear()
         if self._result_cache is not None:
             # The version-vector key already fences data changes; this
             # clear covers rule/builtin changes, which the vector cannot
@@ -351,7 +405,10 @@ class KnowledgeBase:
     @property
     def optimizer(self) -> Optimizer:
         if self._optimizer is None:
-            self._optimizer = Optimizer(self.program, self.db, self.config, builtins=self.builtins)
+            self._optimizer = Optimizer(
+                self.program, self.db, self.config,
+                builtins=self.builtins, feedback=self.feedback,
+            )
         return self._optimizer
 
     def compile(
@@ -407,6 +464,8 @@ class KnowledgeBase:
 
         profiler = Profiler()
         tracer.attach(profiler)
+        started = time.perf_counter()
+        before = self._tier_counters()
         with tracer.span("query", kind="query") as root:
             compiled = self.compile(query, tracer=tracer)
             root.note(goal=str(compiled.query.goal))
@@ -420,6 +479,12 @@ class KnowledgeBase:
             )
             answers = interpreter.run(compiled.plan, compiled.query, **bindings)
         self.metrics.inc("queries_total")
+        worst, reopt = self._harvest(compiled, interpreter.node_stats)
+        self._telemetry_note(
+            compiled.query, started, before,
+            tier=self._tier_taken(before), cache="off",
+            rows=len(answers), worst=worst, reopt=reopt,
+        )
         body = explain_analyzed(compiled.plan, interpreter.node_stats)
         summary = (
             f"-- answers: {len(answers)} | work: {profiler.total_work} tuples "
@@ -466,6 +531,8 @@ class KnowledgeBase:
         # Attach before opening the root span: attach only takes effect
         # between span trees, so counter deltas cover the whole query.
         tracer.attach(profiler)
+        started = time.perf_counter()
+        before = self._tier_counters()
         with tracer.span("query", kind="query") as root:
             if isinstance(query, str):
                 with tracer.span("parse", kind="phase"):
@@ -474,13 +541,24 @@ class KnowledgeBase:
                 form = query
             root.note(goal=str(form.goal))
             if self._views is not None and form.predicate in self._views:
-                return self._answer_from_view(form, profiler, bindings)
+                answers = self._answer_from_view(form, profiler, bindings)
+                self._telemetry_note(
+                    form, started, before, tier="view", cache="off",
+                    rows=len(answers), worst=1.0, reopt=False,
+                )
+                return answers
             compiled = self.compile(form, tracer=tracer)
             cache_key = self._result_cache_key(form, bindings) if cacheable else None
             if cache_key is not None:
                 hit = self._result_cache.get(cache_key)
                 if hit is not None:
                     self.metrics.inc("result_cache_hits_total")
+                    # A warm serving workload is all hits: without this
+                    # record the telemetry log would show an idle system.
+                    self._telemetry_note(
+                        form, started, before, tier="cache", cache="hit",
+                        rows=len(hit), worst=1.0, reopt=False,
+                    )
                     return hit
                 self.metrics.inc("result_cache_misses_total")
             interpreter = Interpreter(
@@ -491,13 +569,116 @@ class KnowledgeBase:
                 parallel_retries=self.parallel_retries,
                 governor=governor, tracer=tracer, metrics=self.metrics,
             )
-            answers = interpreter.run(compiled.plan, compiled.query, **bindings)
+            try:
+                answers = interpreter.run(compiled.plan, compiled.query, **bindings)
+            except ResourceExhausted:
+                self._telemetry_note(
+                    form, started, before, tier=self._tier_taken(before),
+                    cache="off", rows=0, worst=1.0, reopt=False,
+                    status="denied",
+                )
+                raise
+            except Exception:
+                self._telemetry_note(
+                    form, started, before, tier=self._tier_taken(before),
+                    cache="off", rows=0, worst=1.0, reopt=False,
+                    status="error",
+                )
+                raise
+            # Always-on collector: the interpreter's node_stats exist with
+            # or without a tracer, so every successful ask feeds the
+            # feedback store (and may evict a misestimated cached plan).
+            worst, reopt = self._harvest(compiled, interpreter.node_stats)
             if cache_key is not None:
                 cache = self._result_cache
                 while len(cache) >= self._result_cache_size:
                     cache.pop(next(iter(cache)))  # FIFO bound
                 cache[cache_key] = answers
+            self._telemetry_note(
+                form, started, before, tier=self._tier_taken(before),
+                cache="miss" if cache_key is not None else "off",
+                rows=len(answers), worst=worst, reopt=reopt,
+            )
             return answers
+
+    # ------------------------------------------------- feedback + telemetry
+
+    def _tier_counters(self) -> tuple[int, int, int]:
+        """Snapshot of the tier/denial counters before a query."""
+        metrics = self.metrics
+        return (
+            metrics.counter_total("parallel_rules_total"),
+            metrics.counter_total("batch_rules_total"),
+            metrics.counter_total("governor_denials_total"),
+        )
+
+    def _tier_taken(self, before: tuple[int, int, int]) -> str:
+        """Which execution tier this query actually used, inferred from
+        per-query counter deltas (works with the tracer off)."""
+        parallel0, batch0, __ = before
+        if self.metrics.counter_total("parallel_rules_total") > parallel0:
+            return "parallel"
+        if self.metrics.counter_total("batch_rules_total") > batch0:
+            return "batch"
+        return "row"
+
+    def _harvest(self, compiled: OptimizedQuery, node_stats: dict) -> tuple[float, bool]:
+        """Feed one executed plan into the feedback store; returns the
+        observed worst q-error and whether re-optimization was triggered
+        (the plan-cache entry evicted and the optimizer's memo dropped so
+        the next compile sees the learned cardinalities)."""
+        if self.feedback is None:
+            return 1.0, False
+        observation = self.feedback.observe_plan(compiled.plan, node_stats)
+        self.feedback.flush()
+        worst = observation.worst_qerror
+        self.metrics.observe(
+            "qerror", min(worst, _QERROR_CEIL), buckets=QERROR_BUCKETS
+        )
+        self.metrics.set_gauge("feedback_entries", float(len(self.feedback)))
+        form = compiled.query
+        key = (str(form.goal), form.adornment.code)
+        if (
+            worst >= self.reopt_qerror_threshold
+            and key in self._compiled
+            and key not in self._reopt_fired
+        ):
+            del self._compiled[key]
+            # The optimizer memoizes per-(predicate, binding) subplans, so
+            # evicting only the kb-level entry would hand back the same
+            # tree; a fresh Optimizer re-costs with the learned values.
+            self._optimizer = None
+            self._reopt_fired.add(key)
+            self.metrics.inc("reopt_total", reason="qerror")
+            return worst, True
+        return worst, False
+
+    def _telemetry_note(
+        self,
+        form: QueryForm,
+        started: float,
+        before: tuple[int, int, int],
+        *,
+        tier: str,
+        cache: str,
+        rows: int,
+        worst: float,
+        reopt: bool,
+        status: str = "ok",
+    ) -> None:
+        denials = self.metrics.counter_total("governor_denials_total") - before[2]
+        self.telemetry.record(
+            goal=str(form.goal),
+            adornment=form.adornment.code,
+            wall_ms=(time.perf_counter() - started) * 1000.0,
+            tier=tier,
+            cache=cache,
+            rows=rows,
+            worst_qerror=worst,
+            denials=int(denials),
+            reopt=reopt,
+            status=status,
+        )
 
     def _result_cache_key(self, form: QueryForm, bindings: dict) -> tuple | None:
         """(goal text, adornment, $-bindings, db version vector) — or None

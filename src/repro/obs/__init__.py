@@ -13,12 +13,33 @@ Three layers, each usable alone:
   file sink, and a stdlib-only validator
   (``python -m repro.obs.validate``).
 
-The CLI surfaces all three: ``--trace FILE``, ``--metrics FILE``, and
-``--analyze`` (per-node EXPLAIN ANALYZE; also ``:analyze`` in the REPL).
+PR 8 closes the loop with two more:
+
+* :mod:`repro.obs.feedback` — the persistent cardinality feedback store
+  (fingerprint → learned selectivity) the cost model consults and
+  ``kb.ask`` populates on every query
+  (``python -m repro.obs.feedback dump|stats|clear``).
+* :mod:`repro.obs.telemetry` — the per-query telemetry ring buffer
+  (``kb.telemetry``) exporting ``repro.telemetry/1`` records through the
+  same JSONL transport.
+
+The CLI surfaces them all: ``--trace FILE``, ``--metrics FILE``,
+``--telemetry FILE``, ``--feedback FILE`` / ``--no-feedback``,
+``--reopt-threshold``, and ``--analyze`` (per-node EXPLAIN ANALYZE;
+also ``:analyze`` in the REPL).
 """
 
-from .events import SCHEMA, JsonlSink, span_event, validate_events, validate_trace_file
+from .events import (
+    SCHEMA,
+    SPAN_KINDS,
+    JsonlSink,
+    span_event,
+    validate_events,
+    validate_trace_file,
+)
+from .feedback import FEEDBACK_SCHEMA, FeedbackEntry, FeedbackStore, PlanObservation
 from .metrics import DEFAULT_BUCKETS, Histogram, MetricsRegistry
+from .telemetry import TELEMETRY_SCHEMA, TelemetryLog, validate_telemetry_event
 from .tracer import (
     COUNTER_FIELDS,
     NULL_TRACER,
@@ -31,16 +52,24 @@ from .tracer import (
 __all__ = [
     "COUNTER_FIELDS",
     "DEFAULT_BUCKETS",
+    "FEEDBACK_SCHEMA",
+    "FeedbackEntry",
+    "FeedbackStore",
     "Histogram",
     "JsonlSink",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "PlanObservation",
     "SCHEMA",
+    "SPAN_KINDS",
     "Span",
+    "TELEMETRY_SCHEMA",
+    "TelemetryLog",
     "Tracer",
     "TraceSinkWarning",
     "span_event",
     "validate_events",
+    "validate_telemetry_event",
     "validate_trace_file",
 ]

@@ -25,18 +25,60 @@ Event shape (version 1)::
 :func:`validate_events` checks a stream against this schema with stdlib
 only (no jsonschema dependency) and is what the CI smoke step runs over
 the traces produced from ``examples/``.  ``python -m repro.obs.validate
-FILE`` wraps it for the command line.
+FILE`` wraps it for the command line.  Streams may interleave
+``repro.telemetry/1`` query records (see :mod:`repro.obs.telemetry`)
+with trace spans — the validator dispatches on the in-band schema field.
 """
 
 from __future__ import annotations
 
 import json
+import re
 from typing import IO, Iterable
 
+from .telemetry import TELEMETRY_SCHEMA, validate_telemetry_event
 from .tracer import COUNTER_FIELDS, Span
 
 #: The current trace-event schema identifier (bump on breaking change).
 SCHEMA = "repro.trace/1"
+
+#: Every span kind the engine emits.  ``partition``, ``recovery`` and
+#: ``warning`` arrived with the parallel tier (PR 6/7); a kind outside
+#: this set is a validator error so renames cannot slip past CI.
+SPAN_KINDS = frozenset({
+    "span", "query", "phase", "node", "operator", "rule", "round",
+    "fixpoint", "sld", "optimizer", "order", "cperm",
+    "partition", "recovery", "warning",
+})
+
+#: Span names with a fixed shape, and the kind each shape must carry:
+#: ``partition:<i>`` (per-worker spans), ``parallel_retry`` (round
+#: recovery), ``degrade:<from>-><to>`` (tier-degradation warnings) and
+#: ``spill-stream:<pred>`` (out-of-core streaming scans).
+_NAME_SHAPES: tuple[tuple[str, re.Pattern, str], ...] = (
+    ("partition:", re.compile(r"^partition:\d+$"), "partition"),
+    ("parallel_retry", re.compile(r"^parallel_retry$"), "recovery"),
+    ("degrade:", re.compile(r"^degrade:[\w.$]+->[\w.$]+$"), "warning"),
+    ("spill-stream:", re.compile(r"^spill-stream:[\w.$]+$"), "operator"),
+)
+
+
+def _check_span_shape(name: str, kind: str) -> list[str]:
+    """Kind-registry and shaped-name checks for one span."""
+    problems: list[str] = []
+    if kind not in SPAN_KINDS:
+        problems.append(f"unknown span kind {kind!r}")
+    for prefix, pattern, expected_kind in _NAME_SHAPES:
+        if name == prefix or name.startswith(prefix):
+            if not pattern.fullmatch(name):
+                problems.append(f"malformed span name {name!r}")
+            elif kind != expected_kind:
+                problems.append(
+                    f"span name {name!r} must have kind {expected_kind!r}, "
+                    f"got {kind!r}"
+                )
+            break
+    return problems
 
 
 def span_event(span: Span) -> dict:
@@ -108,12 +150,22 @@ _REQUIRED: dict[str, type | tuple[type, ...]] = {
 
 
 def validate_event(event: dict) -> list[str]:
-    """Schema violations of one event (empty list = valid)."""
+    """Schema violations of one event (empty list = valid).
+
+    Dispatches on the in-band ``schema`` field: ``repro.trace/1`` span
+    events are checked here, ``repro.telemetry/1`` query records are
+    handed to :func:`~repro.obs.telemetry.validate_telemetry_event`.
+    """
     errors: list[str] = []
     if not isinstance(event, dict):
         return [f"event is not an object: {event!r}"]
+    if event.get("schema") == TELEMETRY_SCHEMA:
+        return validate_telemetry_event(event)
     if event.get("schema") != SCHEMA:
-        errors.append(f"unknown schema {event.get('schema')!r} (expected {SCHEMA!r})")
+        errors.append(
+            f"unknown schema {event.get('schema')!r} "
+            f"(expected {SCHEMA!r} or {TELEMETRY_SCHEMA!r})"
+        )
     for name, types in _REQUIRED.items():
         if name not in event:
             errors.append(f"missing field {name!r}")
@@ -130,6 +182,8 @@ def validate_event(event: dict) -> list[str]:
             for key in COUNTER_FIELDS:
                 if not isinstance(block.get(key), int):
                     errors.append(f"{side}[{key!r}] must be an int")
+    if isinstance(event.get("name"), str) and isinstance(event.get("kind"), str):
+        errors.extend(_check_span_shape(event["name"], event["kind"]))
     return errors
 
 
@@ -153,7 +207,7 @@ def validate_events(lines: Iterable[str]) -> list[str]:
             continue
         for problem in validate_event(event):
             errors.append(f"line {number}: {problem}")
-        if isinstance(event, dict):
+        if isinstance(event, dict) and event.get("schema") != TELEMETRY_SCHEMA:
             parent = event.get("parent")
             if isinstance(parent, int) and parent in closed:
                 errors.append(

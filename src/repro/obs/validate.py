@@ -1,9 +1,12 @@
 """Command-line trace validation: ``python -m repro.obs.validate FILE...``.
 
-Exit status 0 when every event in every file conforms to the
-:data:`repro.obs.events.SCHEMA` version, 1 otherwise (violations are
-printed one per line).  CI runs this over the traces produced from the
-``examples/`` smoke queries.
+Exit status 0 when every event in every file conforms to its in-band
+schema — ``repro.trace/1`` span events (kind registry and the shaped
+names ``partition:<i>``, ``parallel_retry``, ``degrade:<from>-><to>``,
+``spill-stream:<pred>`` included) or ``repro.telemetry/1`` query
+records, which may be interleaved in one file — and 1 otherwise
+(violations are printed one per line).  CI runs this over the traces
+and telemetry produced from the ``examples/`` smoke queries.
 """
 
 from __future__ import annotations

@@ -30,10 +30,10 @@ than this extreme value, a proper message must inform the user".
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Mapping, Sequence
 
-from ..cost.estimates import BodyEstimator, derived_ndvs, estimate_fixpoint
+from ..cost.estimates import BodyEstimator, LEAF_METHODS, derived_ndvs, estimate_fixpoint
 from ..cost.model import CostParams, DerivedEstimate, Estimate, INFINITE_COST
 from ..datalog.adorn import AdornedClique, CPermutation, adorn_clique, enumerate_cpermutations
 from ..datalog.bindings import BindingPattern, QueryForm, binds_after, head_bound_vars
@@ -116,6 +116,7 @@ class Optimizer:
         stats: StatisticsProvider,
         config: OptimizerConfig | None = None,
         builtins=None,
+        feedback=None,
     ):
         from ..datalog.builtins import builtin_oracle, default_builtins
 
@@ -123,6 +124,10 @@ class Optimizer:
         self.stats = stats
         self.config = config or OptimizerConfig()
         self.builtins = default_builtins() if builtins is None else builtins
+        #: cardinality feedback store (duck-typed
+        #: :class:`repro.obs.feedback.FeedbackStore`); ``None`` keeps
+        #: every estimate static
+        self.feedback = feedback
         self._ec_oracle = builtin_oracle(self.builtins)
         if self.config.strategy not in STRATEGIES:
             raise OptimizationError(f"unknown strategy {self.config.strategy!r}")
@@ -248,6 +253,7 @@ class Optimizer:
             derived_oracle=self._oracle,
             extra_stats=extra_stats,
             builtins=self.builtins,
+            feedback=self.feedback,
         )
 
     # --------------------------------------------------------- OR subtrees
@@ -289,6 +295,16 @@ class Optimizer:
             join = self._optimize_and(rule, binding)
             children.append(join)
             total = total + join.est
+        if self.feedback is not None and not total.is_infinite:
+            learned = self.feedback.learned_node_card(
+                "or", ref, binding.code, None, total.card
+            )
+            if learned is not None and learned != total.card:
+                self._diagnostics.append(
+                    f"feedback: {ref}{binding} output cardinality learned "
+                    f"{learned:.1f} (static {total.card:.1f})"
+                )
+                total = Estimate(total.cost, learned)
         ndvs = derived_ndvs(total.card, ref.arity, self.config.params)
         node = UnionNode(ref=ref, binding=binding, children=tuple(children), est=total, ndvs=ndvs)
         return _MemoEntry(plan=node, est=total, ndvs=ndvs)
@@ -407,7 +423,18 @@ class Optimizer:
                         method = "pipelined"
                 else:
                     pipelined = method in ("index", "builtin")
-            steps.append(JoinStep(literal=literal, child=child, method=method, pipelined=pipelined, est=est))
+            est_source = "static"
+            if (
+                self.feedback is not None
+                and child is None
+                and method in LEAF_METHODS
+                and self.feedback.has_fanout(literal, bound, method)
+            ):
+                est_source = "learned"
+            steps.append(JoinStep(
+                literal=literal, child=child, method=method,
+                pipelined=pipelined, est=est, est_source=est_source,
+            ))
             bound = binds_after(literal, bound)
         return tuple(steps)
 
@@ -605,6 +632,21 @@ class Optimizer:
                 est=Estimate.unsafe(),
                 ndvs=derived_ndvs(INFINITE_COST, ref.arity, params),
             )
+        elif self.feedback is not None and not best_node.est.is_infinite:
+            learned = self.feedback.learned_node_card(
+                "cc", ref, binding.code, best_node.method, best_node.est.card
+            )
+            if learned is not None and learned != best_node.est.card:
+                self._diagnostics.append(
+                    f"feedback: {ref}{binding} ({best_node.method}) output "
+                    f"cardinality learned {learned:.1f} "
+                    f"(static {best_node.est.card:.1f})"
+                )
+                best_node = replace(
+                    best_node,
+                    est=Estimate(best_node.est.cost, learned),
+                    ndvs=derived_ndvs(learned, ref.arity, params),
+                )
         return _MemoEntry(plan=best_node, est=best_node.est, ndvs=best_node.ndvs)
 
     def _cost_adorned(

@@ -51,7 +51,11 @@ class JoinStep:
       ``pipelined``/``materialized``;
     * ``pipelined`` — whether sideways bindings flow into this step (for
       base literals ``index`` implies pipelined probing; a materialized
-      base step scans the stored relation).
+      base step scans the stored relation);
+    * ``est_source`` — where the cardinality estimate came from:
+      ``"static"`` (catalog independence guesses) or ``"learned"`` (the
+      cardinality feedback store had a usable observation for this
+      fragment when the plan was costed).
     """
 
     literal: Literal
@@ -59,6 +63,7 @@ class JoinStep:
     method: str
     pipelined: bool
     est: Estimate = Estimate(0.0, 0.0)
+    est_source: str = "static"
 
     def describe(self) -> str:
         mode = "→" if self.pipelined else "⊳"

@@ -133,8 +133,17 @@ def _explain_into(
         )
         for step in node.steps:
             marker = "→" if step.pipelined else "⊳"
+            # ``~learned``: this step's cardinality came from the feedback
+            # store rather than static catalog guesses (getattr keeps old
+            # pickled/constructed plans without the field printable).
+            learned = (
+                " ~learned"
+                if getattr(step, "est_source", "static") == "learned"
+                else ""
+            )
             lines.append(
-                f"{pad}  {marker} {step.literal} [{step.method}] {_annotation(step.est)}"
+                f"{pad}  {marker} {step.literal} [{step.method}]{learned} "
+                f"{_annotation(step.est)}"
                 f"{_measured(step, f'step {step.literal}', node_stats, misses)}"
             )
             if step.child is not None:
