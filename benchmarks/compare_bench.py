@@ -32,6 +32,8 @@ SUMMARY_COLUMNS = [
     ("geomean_tracer_overhead", "trace", "{:.3f}x"),
     ("feedback_work_gain", "fbgain", "{:.2f}x"),
     ("feedback_overhead", "fbovh", "{:.3f}x"),
+    ("ivm_work_gain", "ivm", "{:.1f}x"),
+    ("warm_hit_rate_under_writes", "hit@wr", "{:.2f}"),
 ]
 
 

@@ -61,7 +61,16 @@ parallel scale query with the default retry budget vs
 both ratios must sit at noise level; ``--max-overhead`` bounds them
 alongside the traced-off ratio.
 
-The default output is ``BENCH_PR8.json`` at the repository root; each
+The ``streaming_ingest`` arm is the PR9 write-path gate: interleaved
+ask/insert/retract against a maintained transitive closure.
+``--min-ivm-gain`` bounds from below the measured tuple-work ratio of a
+from-scratch re-materialization over an incremental single-edge update
+(counting/DRed delta propagation must be O(|delta|), not O(program));
+``--min-warm-hit-rate`` requires the result cache to keep serving a
+repeated query while every intervening write lands in an unrelated
+relation (footprint-keyed invalidation, never global fencing).
+
+The default output is ``BENCH_PR9.json`` at the repository root; each
 PR bumps the suffix so the perf trajectory stays reviewable in-tree
 (``benchmarks/compare_bench.py`` prints the BENCH_PR*.json series).
 """
@@ -606,10 +615,102 @@ def txn_recovery_workload(n: int, repeats: int, workers: int) -> dict:
     return entry
 
 
+def streaming_ingest_workload(n: int, updates: int, repeats: int) -> dict:
+    """The PR9 write-path A/B: interleaved ask/insert/retract against a
+    maintained transitive closure plus an unrelated lookup table.
+
+    Two gated numbers, both deterministic (profiler tuple work and cache
+    counters — machine speed never enters):
+
+    * ``ivm_work_gain`` — measured tuple work of a from-scratch
+      re-materialization over the *median* incremental single-edge
+      update (insert and retract arms both sampled).  Counting/DRed
+      delta propagation does work proportional to the delta, so the
+      ratio grows with n; a regression to recompute-per-write collapses
+      it to ~1.
+    * ``warm_hit_rate`` — result-cache hit rate of a repeated closure
+      query while every intervening write lands in an *unrelated*
+      relation.  Footprint keying keeps this at 1.0; global
+      version-vector keying scores 0.
+    """
+    from repro.engine.fixpoint import evaluate_program
+
+    # -- arm 1: incremental maintenance vs from-scratch recompute --------
+    kb = KnowledgeBase(OptimizerConfig(recursive_methods=("seminaive",)))
+    kb.rules(ANC)
+    kb.facts("par", [(f"n{i}", f"n{i + 1}") for i in range(n)])
+    views = kb.materialize()
+    delta_works: list[int] = []
+    for i in range(max(updates, 4)):
+        before = views.profiler.total_work
+        # branch edge off the chain's middle: the delta stays small but
+        # genuinely propagates through the recursion
+        kb.facts("par", [(f"n{n // 2}", f"b{i}")])
+        delta_works.append(views.profiler.total_work - before)
+    for i in range(max(updates, 4)):
+        before = views.profiler.total_work
+        kb.retract("par", [(f"n{n // 2}", f"b{i}")])
+        delta_works.append(views.profiler.total_work - before)
+    delta_work = sorted(delta_works)[len(delta_works) // 2]
+    full_works = []
+    for __ in range(repeats):
+        profiler = Profiler()
+        evaluate_program(kb.db, kb.program, profiler=profiler)
+        full_works.append(profiler.total_work)
+    full_work = min(full_works)
+    oracle = {
+        tuple(f.value for f in row)
+        for row in evaluate_program(kb.db, kb.program).rows("anc")
+    }
+    maintained_match = kb.view_rows("anc") == oracle
+
+    # -- arm 2: warm hit rate under writes to unrelated relations --------
+    kb2 = KnowledgeBase(OptimizerConfig(recursive_methods=("seminaive",)))
+    kb2.rules(ANC + " owner(X, Y) <- owns(X, Y).")
+    kb2.facts("par", [(f"n{i}", f"n{i + 1}") for i in range(n)])
+    kb2.facts("owns", [("n0", "deed")])
+    query = "anc($X, Y)?"
+    cold = kb2.ask(query, X="n0")
+
+    def hits() -> int:
+        return sum(
+            c["value"] for c in kb2.metrics.snapshot()["counters"]
+            if c["name"] == "result_cache_hits_total"
+        )
+
+    hits_before = hits()
+    warm_answers_match = True
+    asks = max(updates, 4)
+    for i in range(asks):
+        kb2.facts("owns", [(f"n{i}", f"item{i}")])  # unrelated write
+        warm = kb2.ask(query, X="n0")
+        warm_answers_match = warm_answers_match and warm is cold
+    warm_hit_rate = (hits() - hits_before) / asks
+
+    entry = {
+        "workload": f"streaming_ingest_n{n}",
+        "query": query,
+        "updates": len(delta_works),
+        "delta_work": delta_work,
+        "full_recompute_work": full_work,
+        "ivm_work_gain": full_work / max(delta_work, 1),
+        "warm_hit_rate": warm_hit_rate,
+        "results_match": maintained_match and warm_answers_match,
+        "closure_size": len(oracle),
+    }
+    print(
+        f"  {entry['workload']:<28} ivm {entry['ivm_work_gain']:>8.1f}x "
+        f"({full_work} recompute -> {delta_work} per-delta work)  "
+        f"unrelated-write hit rate {warm_hit_rate:.2f}  "
+        f"[{'ok' if entry['results_match'] else 'MISMATCH'}]"
+    )
+    return entry
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true", help="small sizes (CI)")
-    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_PR8.json"))
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_PR9.json"))
     parser.add_argument("--parallel-workers", type=int, default=4,
                         help="pool size for the scale workload's parallel arm")
     parser.add_argument("--min-parallel-speedup", type=float, default=None,
@@ -633,6 +734,16 @@ def main(argv: list[str] | None = None) -> int:
                         help="fail if the always-on feedback collector "
                              "costs more than this wall ratio vs "
                              "feedback=False (budget: 1.05)")
+    parser.add_argument("--min-ivm-gain", type=float, default=None,
+                        help="fail unless an incremental single-edge view "
+                             "update does at least this factor less "
+                             "measured tuple work than a from-scratch "
+                             "re-materialization (O(|delta|) evidence)")
+    parser.add_argument("--min-warm-hit-rate", type=float, default=None,
+                        help="fail if the result-cache hit rate of a "
+                             "repeated query drops below this while every "
+                             "intervening write touches an unrelated "
+                             "relation (footprint-keying evidence)")
     args = parser.parse_args(argv)
 
     repeats = 3 if args.smoke else 5
@@ -660,6 +771,9 @@ def main(argv: list[str] | None = None) -> int:
         feedback_tax = feedback_overhead_workload(1_500, repeats)
     txn = txn_recovery_workload(2_000 if args.smoke else 10_000, repeats,
                                 args.parallel_workers)
+    streaming = streaming_ingest_workload(
+        60 if args.smoke else 200, 6 if args.smoke else 12, repeats
+    )
     if args.smoke:
         scale = scale_workload(1_500, 30_000, args.parallel_workers, repeats,
                                min_rows=256)
@@ -678,6 +792,8 @@ def main(argv: list[str] | None = None) -> int:
         mismatches.append(feedback["workload"])
     if not feedback_tax["results_match"]:
         mismatches.append(feedback_tax["workload"])
+    if not streaming["results_match"]:
+        mismatches.append(streaming["workload"])
     slower = [w["workload"] for w in workloads if w["speedup"] < 1.0]
     more_work = [w["workload"] for w in workloads if w["work_ratio"] < 1.0]
     exp9 = [w for w in workloads if w["workload"].startswith("exp9")]
@@ -692,6 +808,7 @@ def main(argv: list[str] | None = None) -> int:
         "txn_recovery": txn,
         "feedback": feedback,
         "feedback_overhead": feedback_tax,
+        "streaming_ingest": streaming,
         "summary": {
             "geomean_speedup": _geomean([w["speedup"] for w in workloads]),
             "geomean_work_ratio": _geomean([w["work_ratio"] for w in workloads]),
@@ -709,6 +826,8 @@ def main(argv: list[str] | None = None) -> int:
             "feedback_replan": feedback["plans_differ"] and feedback["reopt_fired"],
             "feedback_speedup": feedback["feedback_speedup"],
             "feedback_overhead": feedback_tax["feedback_overhead"],
+            "ivm_work_gain": streaming["ivm_work_gain"],
+            "warm_hit_rate_under_writes": streaming["warm_hit_rate"],
             "parallel_gate_enforceable": scale["gate_enforceable"],
             "geomean_traced_off_overhead": _geomean(
                 [w["traced_off_overhead"] for w in workloads]
@@ -746,6 +865,8 @@ def main(argv: list[str] | None = None) -> int:
         f"{txn['recovery_overhead']:.3f}x, "
         f"feedback gain {feedback['feedback_work_gain']:.2f}x work / "
         f"collector {feedback_tax['feedback_overhead']:.3f}x, "
+        f"ivm gain {streaming['ivm_work_gain']:.1f}x work / "
+        f"unrelated-write hit rate {streaming['warm_hit_rate']:.2f}, "
         f"work ratio {report['summary']['geomean_work_ratio']:.2f}x, "
         f"traced-off overhead {overhead:.3f}x weighted "
         f"({report['summary']['geomean_traced_off_overhead']:.3f}x geomean), "
@@ -821,6 +942,28 @@ def main(argv: list[str] | None = None) -> int:
             f"FEEDBACK COLLECTOR OVERHEAD "
             f"{feedback_tax['feedback_overhead']:.3f}x exceeds bound "
             f"{args.max_feedback_overhead:.3f}x",
+            file=sys.stderr,
+        )
+        return 1
+    if (
+        args.min_ivm_gain is not None
+        and streaming["ivm_work_gain"] < args.min_ivm_gain
+    ):
+        print(
+            f"IVM WORK GAIN {streaming['ivm_work_gain']:.2f}x below bound "
+            f"{args.min_ivm_gain:.2f}x (delta maintenance is not "
+            f"sublinear vs recompute)",
+            file=sys.stderr,
+        )
+        return 1
+    if (
+        args.min_warm_hit_rate is not None
+        and streaming["warm_hit_rate"] < args.min_warm_hit_rate
+    ):
+        print(
+            f"WARM HIT RATE {streaming['warm_hit_rate']:.2f} under "
+            f"unrelated writes below bound {args.min_warm_hit_rate:.2f} "
+            f"(footprint invalidation regressed to global fencing)",
             file=sys.stderr,
         )
         return 1

@@ -21,7 +21,7 @@ Interactive (a tiny REPL):
 
 Statements ending in ``.`` add rules/facts; ``?`` runs a query.  REPL
 commands: ``:explain <query>?``, ``:json <query>?``, ``:relations``,
-``:quit``.
+``:materialize``, ``:views``, ``:quit``.
 """
 
 from __future__ import annotations
@@ -129,6 +129,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "accounting against --max-memory)")
     parser.add_argument("--no-result-cache", action="store_true",
                         help="disable the cross-query result cache")
+    parser.add_argument("--materialize", action="store_true",
+                        help="materialize every derived predicate after "
+                             "loading and keep the extensions incrementally "
+                             "maintained under fact updates (counting/DRed; "
+                             "see docs/performance.md)")
     parser.add_argument("--feedback", type=Path, default=None, metavar="FILE",
                         help="persist the cardinality feedback store to FILE "
                              "as JSONL (schema repro.feedback/1; inspect with "
@@ -194,6 +199,23 @@ def run_query(
         print("  " + ", ".join(repr(v) if isinstance(v, str) else str(v) for v in row), file=out)
 
 
+def _materialize(kb: KnowledgeBase, out: IO[str]) -> None:
+    views = kb.materialize()
+    names = views.predicates()
+    total = sum(len(views.rows(name)) for name in names)
+    print(f"materialized {len(names)} views ({total} tuples)", file=out)
+
+
+def _print_views(kb: KnowledgeBase, out: IO[str]) -> None:
+    views = kb.materialized_views
+    if views is None:
+        print("no materialized views (use --materialize or :materialize)", file=out)
+        return
+    for name in views.predicates():
+        print(f"  {name}: {len(views.rows(name))} tuples "
+              f"[{views.maintenance_mode(name)}]", file=out)
+
+
 def repl(kb: KnowledgeBase, args, stdin: IO[str], out: IO[str], tracer=NULL_TRACER) -> None:
     print("ldl> ", end="", file=out, flush=True)
     buffer = ""
@@ -215,7 +237,13 @@ def repl(kb: KnowledgeBase, args, stdin: IO[str], out: IO[str], tracer=NULL_TRAC
             continue
         handled = False
         try:
-            if stripped.startswith(":explain "):
+            if stripped == ":materialize":
+                _materialize(kb, out)
+                handled = True
+            elif stripped == ":views":
+                _print_views(kb, out)
+                handled = True
+            elif stripped.startswith(":explain "):
                 print(kb.explain(stripped[len(":explain "):].strip()), file=out)
                 handled = True
             elif stripped.startswith(":analyze "):
@@ -274,6 +302,12 @@ def main(argv: Sequence[str] | None = None, stdin: IO[str] | None = None, stdout
     except ReproError as err:
         print(f"error: {err}", file=out)
         return _exit_code_for(err)
+    if args.materialize:
+        try:
+            _materialize(kb, out)
+        except ReproError as err:
+            print(f"error: {err}", file=out)
+            return _exit_code_for(err)
 
     tracer = NULL_TRACER
     if args.trace is not None:

@@ -60,7 +60,7 @@ class _KbTxn:
 
     __slots__ = (
         "rules", "views", "result_cache", "view_ops",
-        "dirty", "rules_changed", "full_invalidate",
+        "touched", "retracted", "rules_changed", "full_invalidate",
     )
 
     def __init__(self, kb: "KnowledgeBase"):
@@ -70,7 +70,13 @@ class _KbTxn:
             dict(kb._result_cache) if kb._result_cache is not None else None
         )
         self.view_ops: list[tuple[str, str, list]] = []
-        self.dirty = False
+        #: base relations actually mutated inside the transaction (no-op
+        #: writes never land here) — drives the footprint-scoped
+        #: invalidation at commit
+        self.touched: set[str] = set()
+        #: the subset of `touched` that saw retractions — only these
+        #: invalidate learned feedback (see KnowledgeBase.retract)
+        self.retracted: set[str] = set()
         self.rules_changed = False
         self.full_invalidate = False
 
@@ -91,9 +97,11 @@ class KnowledgeBase:
     *result_cache* enables the cross-query result cache: a repeat of an
     identical query (same goal, same adornment, same ``$``-bindings)
     against an unchanged fact base is served from the cache without
-    touching the engine.  Freshness is keyed on the database's relation
-    version vector, so any insert or retract anywhere invalidates
-    exactly by changing the key.  Queries run with an explicit profiler,
+    touching the engine.  Freshness is keyed on the versions of the
+    relations in the query's *dependency footprint* (the base relations
+    it can transitively read), so a write invalidates exactly the
+    cached queries that could observe it — writes to unrelated
+    relations leave entries hot.  Queries run with an explicit profiler,
     governor, or tracer bypass the cache — those arguments signal that
     the caller wants a measured / governed / traced *execution*, and a
     hit would observably change what they record.
@@ -150,6 +158,11 @@ class KnowledgeBase:
         self._rules: list[Rule] = []
         self._optimizer: Optimizer | None = None
         self._compiled: dict[tuple[str, str], OptimizedQuery] = {}
+        #: per-predicate dependency footprints ("name/arity" -> base
+        #: relation names transitively read) and the graph they were
+        #: computed from; both live until the rule base changes
+        self._footprints: dict[str, frozenset[str]] = {}
+        self._footprint_graph = None
         self._views = None  # ViewSet, when materialize() has been called
         self._result_cache: "dict[tuple, QueryAnswers] | None" = (
             {} if result_cache else None
@@ -220,8 +233,10 @@ class KnowledgeBase:
             self.db.commit_transaction()
             if txn.full_invalidate or txn.rules_changed:
                 self._invalidate()
-            elif txn.dirty:
-                self._invalidate(keep_views=True)
+            elif txn.touched:
+                self._data_invalidate(txn.touched)
+                if txn.retracted:
+                    self._feedback_forget(txn.retracted)
             if self._views is not None:
                 for op, predicate, rows in txn.view_ops:
                     if op == "insert":
@@ -300,11 +315,14 @@ class KnowledgeBase:
             # Deferred to commit: invalidation fires once, and view
             # maintenance never has to be undone on rollback.
             if added:
-                txn.dirty = True
+                txn.touched.add(predicate)
             if fresh:
                 txn.view_ops.append(("insert", predicate, fresh))
             return added
-        self._invalidate(keep_views=True)
+        if added:
+            # A no-op insert (every row already present) leaves versions,
+            # plans, and caches exactly as they were.
+            self._data_invalidate({predicate})
         if self._views is not None and fresh:
             self._views.insert(predicate, fresh)
         return added
@@ -321,12 +339,19 @@ class KnowledgeBase:
         txn = self._txn
         if txn is not None:
             if removed:
-                txn.dirty = True
+                txn.touched.add(predicate)
+                txn.retracted.add(predicate)
                 if present:
                     txn.view_ops.append(("delete", predicate, present))
             return removed
         if removed:
-            self._invalidate(keep_views=True)
+            self._data_invalidate({predicate})
+            # Retraction can strand learned selectivities arbitrarily far
+            # from reality (the rows they were measured against are gone),
+            # so the affected feedback entries are dropped; insertions
+            # instead rely on the store's EMA drift + staleness decay —
+            # see docs/performance.md for the contract.
+            self._feedback_forget({predicate})
             if self._views is not None and present:
                 self._views.delete(predicate, present)
         return removed
@@ -347,6 +372,12 @@ class KnowledgeBase:
         self._views = views
         return views
 
+    @property
+    def materialized_views(self):
+        """The live :class:`~repro.engine.maintenance.ViewSet`, or ``None``
+        when no views are materialized (rule changes reset it)."""
+        return self._views
+
     def view_rows(self, predicate: str):
         """Current materialized extension of *predicate* (plain values)."""
         if self._views is None:
@@ -362,10 +393,14 @@ class KnowledgeBase:
         """Load facts written in LDL syntax (supports complex terms)."""
         added = load_facts_text(self.db, source)
         if self._txn is not None:
-            self._txn.dirty = True
-            self._txn.full_invalidate = True  # bypasses view maintenance
+            if added:
+                self._txn.full_invalidate = True  # bypasses view maintenance
             return added
-        self._invalidate()
+        if added:
+            # The loader doesn't report per-row deltas, so views cannot be
+            # maintained incrementally here — full invalidation; but a
+            # load that inserted nothing new changes nothing.
+            self._invalidate()
         return added
 
     def register_builtin(self, builtin) -> None:
@@ -385,16 +420,112 @@ class KnowledgeBase:
             )
 
     def _invalidate(self, keep_views: bool = False) -> None:
+        """Full invalidation, for rule/builtin changes: the dependency
+        graph itself moved, so footprints, plans, and cached results are
+        all void (see :meth:`_data_invalidate` for the surgical
+        data-write path)."""
         self._optimizer = None
         self._compiled.clear()
         self._reopt_fired.clear()
+        self._footprints.clear()
+        self._footprint_graph = None
         if self._result_cache is not None:
-            # The version-vector key already fences data changes; this
-            # clear covers rule/builtin changes, which the vector cannot
+            # The footprint-versioned key already fences data changes;
+            # this clear covers rule/builtin changes, which the key cannot
             # see, and keeps the cache from accumulating dead entries.
             self._result_cache.clear()
         if not keep_views:
             self._views = None
+
+    # ------------------------------------------------ footprints + eviction
+
+    def _dependency_footprint(self, predicate: str, arity: int) -> frozenset[str]:
+        """The base relations a query against *predicate* can read,
+        computed once per predicate from the rule dependency graph and
+        cached until the rule base changes.
+
+        For a derived predicate this is every non-derived predicate
+        transitively reachable through rule bodies (built-ins excluded —
+        they hold no stored rows); for a base or unknown predicate it is
+        the predicate itself.
+        """
+        from .datalog.literals import PredicateRef
+
+        cache_key = f"{predicate}/{arity}"
+        hit = self._footprints.get(cache_key)
+        if hit is not None:
+            return hit
+        if self._footprint_graph is None:
+            from .datalog.graph import DependencyGraph
+
+            self._footprint_graph = DependencyGraph(self.program)
+        program = self.program
+        derived = {ref.name for ref in program.derived_predicates}
+        if predicate not in derived:
+            footprint = frozenset((predicate,))
+        else:
+            reachable = self._footprint_graph.reachable_from(
+                PredicateRef(predicate, arity)
+            )
+            footprint = frozenset(
+                ref.name
+                for ref in reachable
+                if ref.name not in derived and ref.name not in self.builtins
+            )
+        self._footprints[cache_key] = footprint
+        return footprint
+
+    def _form_footprint(self, form: QueryForm) -> frozenset[str]:
+        return self._dependency_footprint(form.predicate, form.goal.arity)
+
+    def _data_invalidate(self, touched: set[str]) -> None:
+        """Surgical invalidation after a data write to *touched* base
+        relations: only compiled plans and cached results whose footprint
+        intersects the mutated relations are evicted; queries over
+        disjoint data keep their plans, cached answers, and re-opt state.
+
+        (Result-cache entries are version-fenced by their key, so evicting
+        them here is memory hygiene, not correctness — a bumped version
+        already makes the old entry unreachable.)
+        """
+        if not touched:
+            return
+        # Statistics feeding cost models changed; the optimizer rebuilds
+        # lazily (cheap — the expensive per-form work is in _compiled,
+        # which is evicted selectively below).
+        self._optimizer = None
+        stale = [
+            key for key, compiled in self._compiled.items()
+            if self._form_footprint(compiled.query) & touched
+        ]
+        for key in stale:
+            del self._compiled[key]
+            # The write may fix (or worsen) the very misestimate that
+            # fired re-optimization; re-arm the once-per-form latch for
+            # the forms whose data actually moved.
+            self._reopt_fired.discard(key)
+        if self._result_cache is not None:
+            dead = [
+                key for key in self._result_cache
+                if any(name in touched for name, __ in key[3])
+            ]
+            for key in dead:
+                del self._result_cache[key]
+
+    def _feedback_forget(self, touched: set[str]) -> None:
+        """Drop learned cardinalities invalidated by a retraction: every
+        entry recorded for a touched relation or for a derived predicate
+        whose footprint reads one."""
+        if self.feedback is None or not touched:
+            return
+        scope = set(touched)
+        for ref in self.program.derived_predicates:
+            if self._dependency_footprint(ref.name, ref.arity) & touched:
+                scope.add(ref.name)
+        dropped = self.feedback.invalidate(scope)
+        if dropped:
+            self.metrics.inc("feedback_invalidated_total", dropped)
+            self.metrics.set_gauge("feedback_entries", float(len(self.feedback)))
 
     # ----------------------------------------------------------- compiling
 
@@ -541,9 +672,31 @@ class KnowledgeBase:
                 form = query
             root.note(goal=str(form.goal))
             if self._views is not None and form.predicate in self._views:
+                # View-backed answers participate in the result cache too,
+                # and tier attribution follows where the rows came from
+                # *this* query: "cache" only on an actual hit, "view" when
+                # the (possibly just partially invalidated) cache missed
+                # and the maintained extension was filtered.
+                cache_key = self._result_cache_key(form, bindings) if cacheable else None
+                if cache_key is not None:
+                    hit = self._result_cache.get(cache_key)
+                    if hit is not None:
+                        self.metrics.inc("result_cache_hits_total")
+                        self._telemetry_note(
+                            form, started, before, tier="cache", cache="hit",
+                            rows=len(hit), worst=1.0, reopt=False,
+                        )
+                        return hit
+                    self.metrics.inc("result_cache_misses_total")
                 answers = self._answer_from_view(form, profiler, bindings)
+                if cache_key is not None:
+                    cache = self._result_cache
+                    while len(cache) >= self._result_cache_size:
+                        cache.pop(next(iter(cache)))  # FIFO bound
+                    cache[cache_key] = answers
                 self._telemetry_note(
-                    form, started, before, tier="view", cache="off",
+                    form, started, before, tier="view",
+                    cache="miss" if cache_key is not None else "off",
                     rows=len(answers), worst=1.0, reopt=False,
                 )
                 return answers
@@ -681,8 +834,15 @@ class KnowledgeBase:
         )
 
     def _result_cache_key(self, form: QueryForm, bindings: dict) -> tuple | None:
-        """(goal text, adornment, $-bindings, db version vector) — or None
-        when a binding value cannot be lifted into a hashable term."""
+        """(goal text, adornment, $-bindings, footprint version vector) —
+        or None when a binding value cannot be lifted into a hashable term.
+
+        Freshness is fenced per dependency footprint, not globally: the
+        key carries ``(name, version)`` only for the base relations this
+        form can actually read (``-1`` for a relation not created yet —
+        its later creation must miss), so a write to an unrelated
+        relation leaves the entry hot.
+        """
         from .datalog.terms import term_from_python
 
         try:
@@ -691,11 +851,18 @@ class KnowledgeBase:
             )
         except TypeError:
             return None
+        versions = tuple(
+            (
+                name,
+                relation.version if (relation := self.db.get(name)) is not None else -1,
+            )
+            for name in sorted(self._form_footprint(form))
+        )
         return (
             str(form.goal),
             form.adornment.code,
             lifted,
-            self.db.version_vector(),
+            versions,
         )
 
     def _answer_from_view(self, form: QueryForm, profiler: Profiler, bindings: dict) -> QueryAnswers:

@@ -239,6 +239,27 @@ class FeedbackStore:
         self._entries.clear()
         self.tick = 0
 
+    def invalidate(self, predicates: "set[str] | frozenset[str]") -> int:
+        """Drop every entry learned for one of *predicates*; returns how
+        many were dropped.
+
+        The knowledge base calls this when a retraction touches a
+        relation (directly or through a derived predicate's dependency
+        footprint): the rows the selectivities were measured against are
+        gone, and waiting out EMA drift + staleness decay would keep
+        feeding the optimizer evidence about data that no longer exists.
+        Insertions are *not* routed here — a learned value stays a lower
+        bound there, and decay handles the drift.
+        """
+        stale = [
+            fingerprint
+            for fingerprint, entry in self._entries.items()
+            if entry.predicate in predicates
+        ]
+        for fingerprint in stale:
+            del self._entries[fingerprint]
+        return len(stale)
+
     # -- learning ------------------------------------------------------------
 
     def staleness_weight(self, entry: FeedbackEntry) -> float:

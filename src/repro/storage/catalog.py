@@ -229,16 +229,19 @@ class Database:
         relation = self._relations.get(name)
         if relation is None:
             relation = self.create(name, len(row))
-        self._stats_cache.pop(name, None)
         txn = self._txn
         if txn is None:
             added = relation.insert(row)
             if added:
+                # Duplicate inserts are complete no-ops: cached statistics
+                # (like the relation version) only move when data does.
+                self._stats_cache.pop(name, None)
                 self._maybe_spill(name)
             return added
         log_undo = self._txn_touch(relation)
         added = relation.insert(row)
         if added:
+            self._stats_cache.pop(name, None)
             if log_undo:
                 txn.undo.append((relation, "insert", tuple(row)))
             txn.pending_spill.add(name)
@@ -252,11 +255,11 @@ class Database:
             if not rows:
                 raise SchemaError(f"cannot infer arity of new relation {name!r} from no rows")
             relation = self.create(name, len(rows[0]))
-        self._stats_cache.pop(name, None)
         txn = self._txn
         if txn is None:
             added = relation.load(rows)
             if added:
+                self._stats_cache.pop(name, None)
                 self._maybe_spill(name)
             return added
         log_undo = self._txn_touch(relation)
@@ -268,6 +271,7 @@ class Database:
                 if log_undo:
                     txn.undo.append((relation, "insert", term_row))
         if added:
+            self._stats_cache.pop(name, None)
             txn.pending_spill.add(name)
         return added
 

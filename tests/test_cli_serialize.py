@@ -105,6 +105,21 @@ def test_repl_session(family_file):
     assert "error:" in out  # the nonsense query
 
 
+def test_materialize_flag_answers_through_views(family_file):
+    status, out = run_cli(str(family_file), "--materialize", "-q", "anc(abe, Y)?")
+    assert status == 0
+    assert "materialized 1 views" in out
+    assert "'bart'" in out and "'homer'" in out
+
+
+def test_repl_views_command(family_file):
+    session = "\n".join([":views", ":materialize", ":views", ":quit"]) + "\n"
+    status, out = run_cli(str(family_file), "-i", stdin_text=session)
+    assert status == 0
+    assert "no materialized views" in out
+    assert "anc: 5 tuples [dred]" in out
+
+
 def test_repl_error_recovery(family_file):
     session = "anc(abe Y)?\n:quit\n"  # parse error, then quit
     status, out = run_cli(str(family_file), "-i", stdin_text=session)

@@ -222,3 +222,106 @@ def test_magic_equivalence_random_dags(seed):
     res = evaluate_program(db, mp.program, seeds={mp.seed_predicate: {(node,)}})
     got = {r for r in res[mp.answer_predicate] if r[0] == node}
     assert got == {r for r in full if r[0] == node}
+
+
+# -- edge cases feeding the delta-maintenance path (ISSUE 9) ------------------
+
+
+def counting_first_kb(rules):
+    from repro import KnowledgeBase, OptimizerConfig
+
+    kb = KnowledgeBase(OptimizerConfig(recursive_methods=("counting", "seminaive")))
+    kb.rules(rules)
+    return kb
+
+
+def test_nonlinear_recursion_falls_back_cleanly():
+    """Two recursive body occurrences violate counting's linearity
+    condition; with counting listed first the optimizer must skip it —
+    not crash, not mis-rewrite — and still answer correctly."""
+    kb = counting_first_kb("t(X, Y) <- e(X, Y). t(X, Y) <- t(X, Z), t(Z, Y).")
+    kb.facts("e", [("a", "b"), ("b", "c"), ("c", "d")])
+    answers = set(kb.ask("t(a, Y)?").to_python())
+    assert answers == {("b",), ("c",), ("d",)}
+
+
+def test_nonseparable_sip_falls_back_cleanly():
+    """The identity c-permutation makes sg non-separable (bound args of
+    the recursive call depend on dn, which needs the recursive result);
+    structural applicability fails and evaluation falls back."""
+    adorned = adorned_sg(cperm=CPermutation.identity())
+    assert not counting_applicable(adorned)
+    kb = counting_first_kb(SG)
+    levels = same_generation_instance(kb.db, fanout=2, depth=3)
+    node = levels[1][0]
+    got = set(kb.ask("sg($X, Y)?", X=node).to_python())
+    full = full_sg(sg_database(fanout=2, depth=3))
+    want = {(r[1].value,) for r in full if r[0].value == node}
+    assert got == want
+
+
+def test_zero_ary_adornment_not_counting_applicable():
+    """An all-free query binds nothing: counting needs at least one bound
+    argument to seed levels from, so applicability must say no."""
+    assert not counting_applicable(adorned_anc(binding="ff"))
+
+
+def test_zero_ary_gate_predicate_end_to_end():
+    """A zero-ary base predicate gating the exit rule flows through both
+    the counting-first optimizer and incremental view maintenance."""
+    kb = counting_first_kb(
+        "reach(X) <- go, src(X). reach(Y) <- reach(X), e(X, Y)."
+    )
+    kb.facts("go", [()])
+    kb.facts("src", [("a",)])
+    kb.facts("e", [("a", "b"), ("b", "c")])
+    assert set(kb.ask("reach(X)?").to_python()) == {("a",), ("b",), ("c",)}
+    kb.materialize()
+    kb.facts("e", [("c", "d")])
+    assert kb.view_rows("reach") == {("a",), ("b",), ("c",), ("d",)}
+    kb.retract("go", [()])
+    assert kb.view_rows("reach") == set()
+
+
+def test_zero_ary_head_counts_derivations():
+    """Zero-ary derived head: support is the number of witnesses, and the
+    view empties only when the last witness is retracted."""
+    from repro import KnowledgeBase
+
+    kb = KnowledgeBase()
+    kb.rules("alarm <- hot(X).")
+    kb.facts("hot", [("k1",), ("k2",)])
+    kb.materialize()
+    assert kb._views.support("alarm", ()) == 2
+    kb.retract("hot", [("k1",)])
+    assert kb.view_rows("alarm") == {()}
+    kb.retract("hot", [("k2",)])
+    assert kb.view_rows("alarm") == set()
+
+
+def test_counting_retraction_in_rolled_back_transaction():
+    """Retraction under a counting-first plan inside a transaction that
+    rolls back: answers, views, and caches all rewind to the pre-txn
+    state — no stale counting levels or half-applied deltas survive."""
+    kb = counting_first_kb(ANC)
+    kb.facts("par", [("a", "b"), ("b", "c"), ("x", "c")])
+    before = kb.ask("anc($X, Y)?", X="a")
+    assert set(before.to_python()) == {("b",), ("c",)}
+    with pytest.raises(RuntimeError):
+        with kb.transaction():
+            kb.retract("par", [("b", "c")])
+            # mid-transaction asks see the transaction's own writes
+            mid = kb.ask("anc($X, Y)?", X="a")
+            assert set(mid.to_python()) == {("b",)}
+            raise RuntimeError("abort")
+    assert set(kb.ask("anc($X, Y)?", X="a").to_python()) == {("b",), ("c",)}
+    # materialized views: maintenance deferred to commit, so a rollback
+    # must discard the pending delete ops without ever applying them
+    kb.materialize()
+    with pytest.raises(RuntimeError):
+        with kb.transaction():
+            kb.retract("par", [("b", "c")])
+            raise RuntimeError("abort")
+    assert kb.view_rows("anc") == {
+        ("a", "b"), ("a", "c"), ("b", "c"), ("x", "c")
+    }

@@ -132,6 +132,97 @@ def test_rules_change_drops_views():
         kb.view_rows("t")
 
 
+def test_delete_row_joined_with_itself():
+    """Over-deletion must evaluate suspect derivations against the
+    *pre-deletion* state: p(a,a) <- e(a,a), e(a,a) uses the deleted row at
+    both body positions, which a post-deletion join can no longer see —
+    the old code left p(a,a) stranded in the view forever."""
+    kb = KnowledgeBase()
+    kb.rules("p(X, Y) <- e(X, Z), e(Z, Y).")
+    kb.facts("e", [("a", "a")])
+    kb.materialize()
+    assert kb.view_rows("p") == {("a", "a")}
+    kb.retract("e", [("a", "a")])
+    assert kb.view_rows("p") == set()
+    assert kb.view_rows("p") == recompute(kb, "p")
+
+
+def test_delete_pair_of_rows_in_one_call():
+    """Both halves of a two-row derivation retracted in one call: neither
+    delta row alone kills the derivation under post-deletion semantics."""
+    kb = KnowledgeBase()
+    kb.rules("p(X, Y) <- e(X, Z), e(Z, Y).")
+    kb.facts("e", [("a", "b"), ("b", "c")])
+    kb.materialize()
+    assert kb.view_rows("p") == {("a", "c")}
+    kb.retract("e", [("a", "b"), ("b", "c")])
+    assert kb.view_rows("p") == set()
+    assert kb.view_rows("p") == recompute(kb, "p")
+
+
+def test_delete_survives_alternative_rule():
+    """A tuple with a remaining derivation through a *different* rule of
+    the same view must survive the deletion (ISSUE 9 satellite: the old
+    per-rule rederivation could miss cross-rule support)."""
+    kb = KnowledgeBase()
+    kb.rules("s(X, Y) <- e(X, Z), e(Z, Y). s(X, Y) <- f(X, Y).")
+    kb.facts("e", [("a", "a")])
+    kb.facts("f", [("a", "a")])
+    kb.materialize()
+    assert kb.view_rows("s") == {("a", "a")}
+    kb.retract("e", [("a", "a")])
+    # support dropped 2 -> 1, not 1 -> 0: the f-rule derivation remains
+    assert kb.view_rows("s") == {("a", "a")}
+    assert kb.view_rows("s") == recompute(kb, "s")
+    kb.retract("f", [("a", "a")])
+    assert kb.view_rows("s") == set()
+
+
+def test_derivation_counts_track_support():
+    """Non-recursive strata expose exact per-tuple derivation counts;
+    recursive predicates (maintained by DRed) report None."""
+    kb = KnowledgeBase()
+    kb.rules(TC + " q(X, Y) <- t(X, Y), f(Y, X). q(X, Y) <- f(X, Y).")
+    kb.facts("e", [("a", "b")])
+    kb.facts("f", [("b", "a")])
+    kb.materialize()
+    views = kb._views
+    assert views.support("t", (None,)) is None  # recursive: DRed, no counts
+    # q(a, b): one derivation through the t-join rule
+    from repro.datalog.terms import Constant
+
+    row_ab = (Constant("a"), Constant("b"))
+    assert views.support("q", row_ab) == 1
+    kb.facts("f", [("a", "b")])
+    # second derivation arrives through the f-copy rule
+    assert views.support("q", row_ab) == 2
+    kb.retract("f", [("a", "b")])
+    assert views.support("q", row_ab) == 1
+    assert kb.view_rows("q") == recompute(kb, "q")
+
+
+def test_counted_delete_is_not_rederivation():
+    """Counting strata never run a rederivation join: deleting one of two
+    supports just decrements, deleting the last removes the tuple."""
+    kb = KnowledgeBase()
+    kb.rules("j(X) <- a(X, Y). j(X) <- b(X, Y).")
+    kb.facts("a", [("k", 1), ("k", 2)])
+    kb.facts("b", [("k", 9)])
+    kb.materialize()
+    views = kb._views
+    from repro.datalog.terms import Constant
+
+    row = (Constant("k"),)
+    assert views.support("j", row) == 3
+    kb.retract("a", [("k", 1)])
+    assert views.support("j", row) == 2
+    assert kb.view_rows("j") == {("k",)}
+    kb.retract("a", [("k", 2)])
+    kb.retract("b", [("k", 9)])
+    assert views.support("j", row) == 0
+    assert kb.view_rows("j") == set()
+
+
 @settings(max_examples=12, deadline=None)
 @given(
     st.lists(

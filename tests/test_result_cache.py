@@ -1,8 +1,10 @@
 """The version-keyed cross-query result cache (and retract invalidation).
 
-The cache key includes the database's version vector, so any insert or
-retract *anywhere* fences every cached answer — a stale hit is
-impossible by construction.  These tests pin the hit/miss behavior, the
+The cache key includes the versions of the relations in the query's
+dependency footprint, so any insert or retract a query *could observe*
+fences its cached answer — a stale hit is impossible by construction,
+while writes to unrelated relations leave entries hot (see
+tests/test_invalidation.py).  These tests pin the hit/miss behavior, the
 invalidation paths (insert, retract, new rules), the bypass rules
 (profiler / governor / tracer arguments mean "measure this run", never
 serve a memo), and the escape hatch.  The retract regressions double as
