@@ -34,6 +34,7 @@ SUMMARY_COLUMNS = [
     ("feedback_overhead", "fbovh", "{:.3f}x"),
     ("ivm_work_gain", "ivm", "{:.1f}x"),
     ("warm_hit_rate_under_writes", "hit@wr", "{:.2f}"),
+    ("enum_work_gain", "enum", "{:.2f}x"),
 ]
 
 

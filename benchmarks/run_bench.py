@@ -70,7 +70,16 @@ from-scratch re-materialization over an incremental single-edge update
 repeated query while every intervening write lands in an unrelated
 relation (footprint-keyed invalidation, never global fencing).
 
-The default output is ``BENCH_PR9.json`` at the repository root; each
+The ``optimizer_scalability`` arm is the PR10 plan-search gate: the same
+wide-conjunction + multi-clique workload is optimized under
+``search="bb"`` (memoized branch-and-bound enumeration) and
+``search="full"`` (the un-pruned baseline).  ``--min-enum-speedup``
+bounds from below the deterministic ``plans_costed`` ratio (full /
+pruned) and additionally requires the two searches to produce
+cost-identical plans — the admissibility contract that makes the
+pruning safe.  The optimize-wall ratio is recorded informationally.
+
+The default output is ``BENCH_PR10.json`` at the repository root; each
 PR bumps the suffix so the perf trajectory stays reviewable in-tree
 (``benchmarks/compare_bench.py`` prints the BENCH_PR*.json series).
 """
@@ -707,10 +716,113 @@ def streaming_ingest_workload(n: int, updates: int, repeats: int) -> dict:
     return entry
 
 
+def optimizer_scalability_workload(width: int, repeats: int) -> dict:
+    """The PR10 plan-search A/B: memoized branch-and-bound enumeration
+    (``search="bb"``) vs the un-pruned baseline (``search="full"``) on a
+    workload built to stress both enumerator layers — a *width*-literal
+    chained conjunction (connected-subset DP table) and a multi-clique
+    recursive query (three-rule same-generation clique plus a linear
+    ancestor clique, costed across c-permutations under four recursive
+    methods).
+
+    The gated number is ``enum_work_gain`` — ``plans_costed`` of the
+    full search over the pruned search.  Both counters come from the
+    optimizer's own deterministic accounting (under ``search="full"``
+    the shared body-estimate cache counts every costing without reusing
+    any, so the unit is identical across modes) — machine speed never
+    enters the verdict.  The entry also asserts the plan-quality
+    contract that makes the pruning admissible: both searches must
+    produce cost-identical plans and identical answers.
+    ``enum_wall_speedup`` (optimize-time wall ratio) is recorded
+    alongside, informationally.
+    """
+    def build(search: str) -> KnowledgeBase:
+        kb = KnowledgeBase(
+            OptimizerConfig(strategy="dp", seed=0, search=search),
+            feedback=False,
+        )
+        kb.rules(
+            """
+            sg(X, Y) <- flat(X, Y).
+            sg(X, Y) <- up(X, X1), sg(X1, Y1), down(Y1, Y).
+            sg(X, Y) <- up2(X, X1), sg(X1, Y1), down2(Y1, Y).
+            anc(X, Y) <- par(X, Y).
+            anc(X, Y) <- par(X, Z), anc(Z, Y).
+            """
+        )
+        body = ", ".join(f"r{i}(X{i}, X{i + 1})" for i in range(width))
+        kb.rules(f"wide(X0, X{width}) <- {body}.")
+        kb.rules("q(A, C) <- wide(A, B), sg(B, C).")
+        kb.rules("q2(A, D) <- anc(A, B), sg(B, C), anc(C, D).")
+        for i in range(width):
+            kb.facts(f"r{i}", [(f"a{j}", f"a{j + 1}") for j in range(6)])
+        kb.facts("flat", [("a1", "a2"), ("a2", "a3")])
+        kb.facts("up", [("a0", "a1")])
+        kb.facts("down", [("a2", "a4")])
+        kb.facts("up2", [("a0", "a2")])
+        kb.facts("down2", [("a3", "a5")])
+        kb.facts("par", [(f"a{j}", f"a{j + 1}") for j in range(6)])
+        return kb
+
+    queries = ("q($A, C)?", "q2($A, D)?")
+    walls: dict[str, list[float]] = {"bb": [], "full": []}
+    counters: dict[str, dict[str, int]] = {}
+    costs: dict[str, tuple[float, ...]] = {}
+    answers: dict[str, list] = {}
+    # Fresh KBs per round (plan caches would hide the enumerator), arms
+    # interleaved round-robin like every other A/B in this file.
+    for _ in range(max(repeats, 3)):
+        for search in ("bb", "full"):
+            kb = build(search)
+            start = time.perf_counter()
+            compiled = [kb.compile(q) for q in queries]
+            walls[search].append(time.perf_counter() - start)
+            counters[search] = {
+                "plans_costed": kb.optimizer.counters["plans_costed"],
+                "plans_pruned": kb.optimizer.counters["plans_pruned"],
+            }
+            costs[search] = tuple(c.plan.est.cost for c in compiled)
+            answers[search] = [
+                sorted(kb.ask(q, A="a0").to_python()) for q in queries
+            ]
+    costs_match = all(
+        abs(b - f) <= 1e-6 * max(abs(b), abs(f), 1.0)
+        for b, f in zip(costs["bb"], costs["full"])
+    )
+    match = costs_match and answers["bb"] == answers["full"]
+    work_gain = counters["full"]["plans_costed"] / max(
+        counters["bb"]["plans_costed"], 1
+    )
+    wall_speedup = _median_ratio(walls["full"], walls["bb"])
+    entry = {
+        "workload": f"optimizer_scalability_w{width}",
+        "queries": list(queries),
+        "results_match": match,
+        "plan_costs_match": costs_match,
+        "plans_costed_full": counters["full"]["plans_costed"],
+        "plans_costed_bb": counters["bb"]["plans_costed"],
+        "plans_pruned_bb": counters["bb"]["plans_pruned"],
+        "plans_pruned_full": counters["full"]["plans_pruned"],
+        "enum_work_gain": work_gain,
+        "optimize_wall_full_s": min(walls["full"]),
+        "optimize_wall_bb_s": min(walls["bb"]),
+        "enum_wall_speedup": wall_speedup,
+    }
+    print(
+        f"  {entry['workload']:<28} enum {work_gain:>5.2f}x work "
+        f"({counters['full']['plans_costed']:>6} -> "
+        f"{counters['bb']['plans_costed']:>6} plans costed, "
+        f"{counters['bb']['plans_pruned']} pruned)  wall "
+        f"{wall_speedup:>5.2f}x  "
+        f"[{'ok' if match else 'MISMATCH'}]"
+    )
+    return entry
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true", help="small sizes (CI)")
-    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_PR9.json"))
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_PR10.json"))
     parser.add_argument("--parallel-workers", type=int, default=4,
                         help="pool size for the scale workload's parallel arm")
     parser.add_argument("--min-parallel-speedup", type=float, default=None,
@@ -739,6 +851,13 @@ def main(argv: list[str] | None = None) -> int:
                              "update does at least this factor less "
                              "measured tuple work than a from-scratch "
                              "re-materialization (O(|delta|) evidence)")
+    parser.add_argument("--min-enum-speedup", type=float, default=None,
+                        help="fail unless the branch-and-bound plan search "
+                             "costs at least this factor fewer plans than "
+                             "the un-pruned full search on the optimizer-"
+                             "scalability workload (plans_costed ratio, "
+                             "deterministic); also requires the two "
+                             "searches to produce cost-identical plans")
     parser.add_argument("--min-warm-hit-rate", type=float, default=None,
                         help="fail if the result-cache hit rate of a "
                              "repeated query drops below this while every "
@@ -774,6 +893,7 @@ def main(argv: list[str] | None = None) -> int:
     streaming = streaming_ingest_workload(
         60 if args.smoke else 200, 6 if args.smoke else 12, repeats
     )
+    enum = optimizer_scalability_workload(6 if args.smoke else 8, repeats)
     if args.smoke:
         scale = scale_workload(1_500, 30_000, args.parallel_workers, repeats,
                                min_rows=256)
@@ -794,6 +914,8 @@ def main(argv: list[str] | None = None) -> int:
         mismatches.append(feedback_tax["workload"])
     if not streaming["results_match"]:
         mismatches.append(streaming["workload"])
+    if not enum["results_match"]:
+        mismatches.append(enum["workload"])
     slower = [w["workload"] for w in workloads if w["speedup"] < 1.0]
     more_work = [w["workload"] for w in workloads if w["work_ratio"] < 1.0]
     exp9 = [w for w in workloads if w["workload"].startswith("exp9")]
@@ -809,6 +931,7 @@ def main(argv: list[str] | None = None) -> int:
         "feedback": feedback,
         "feedback_overhead": feedback_tax,
         "streaming_ingest": streaming,
+        "optimizer_scalability": enum,
         "summary": {
             "geomean_speedup": _geomean([w["speedup"] for w in workloads]),
             "geomean_work_ratio": _geomean([w["work_ratio"] for w in workloads]),
@@ -828,6 +951,9 @@ def main(argv: list[str] | None = None) -> int:
             "feedback_overhead": feedback_tax["feedback_overhead"],
             "ivm_work_gain": streaming["ivm_work_gain"],
             "warm_hit_rate_under_writes": streaming["warm_hit_rate"],
+            "enum_work_gain": enum["enum_work_gain"],
+            "enum_wall_speedup": enum["enum_wall_speedup"],
+            "enum_plan_costs_match": enum["plan_costs_match"],
             "parallel_gate_enforceable": scale["gate_enforceable"],
             "geomean_traced_off_overhead": _geomean(
                 [w["traced_off_overhead"] for w in workloads]
@@ -867,6 +993,8 @@ def main(argv: list[str] | None = None) -> int:
         f"collector {feedback_tax['feedback_overhead']:.3f}x, "
         f"ivm gain {streaming['ivm_work_gain']:.1f}x work / "
         f"unrelated-write hit rate {streaming['warm_hit_rate']:.2f}, "
+        f"enum gain {enum['enum_work_gain']:.2f}x plans "
+        f"({enum['enum_wall_speedup']:.2f}x wall), "
         f"work ratio {report['summary']['geomean_work_ratio']:.2f}x, "
         f"traced-off overhead {overhead:.3f}x weighted "
         f"({report['summary']['geomean_traced_off_overhead']:.3f}x geomean), "
@@ -956,6 +1084,22 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 1
+    if args.min_enum_speedup is not None:
+        if not enum["plan_costs_match"]:
+            print(
+                "ENUM PLAN QUALITY regressed: branch-and-bound and full "
+                "search produced plans with different costs",
+                file=sys.stderr,
+            )
+            return 1
+        if enum["enum_work_gain"] < args.min_enum_speedup:
+            print(
+                f"ENUM WORK GAIN {enum['enum_work_gain']:.2f}x below bound "
+                f"{args.min_enum_speedup:.2f}x (branch-and-bound is not "
+                f"pruning the plan search)",
+                file=sys.stderr,
+            )
+            return 1
     if (
         args.min_warm_hit_rate is not None
         and streaming["warm_hit_rate"] < args.min_warm_hit_rate

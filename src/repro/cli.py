@@ -99,6 +99,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--strategy", default="dp",
                         choices=("exhaustive", "dp", "kbz", "annealing", "textual"),
                         help="join-ordering strategy (default: dp)")
+    parser.add_argument("--search", default="bb", choices=("bb", "full"),
+                        help="plan-search mode: 'bb' prunes with memoized "
+                             "branch-and-bound (cost-identical plans, fewer "
+                             "costings), 'full' is the un-pruned baseline "
+                             "(default: bb)")
+    parser.add_argument("--recursive-method", default=None, metavar="METHOD",
+                        choices=("seminaive", "naive", "magic",
+                                 "supplementary", "counting", "qsqn"),
+                        help="restrict recursive cliques to one method "
+                             "(e.g. 'qsqn' forces query-subquery nets on "
+                             "bound recursive queries; default: let the "
+                             "cost model choose)")
     parser.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
                         help="wall-clock deadline per query (exit code 5 on expiry)")
     parser.add_argument("--max-tuples", type=int, default=None, metavar="N",
@@ -281,8 +293,17 @@ def main(argv: Sequence[str] | None = None, stdin: IO[str] | None = None, stdout
     kb_kwargs = {}
     if args.reopt_threshold is not None:
         kb_kwargs["reopt_qerror_threshold"] = args.reopt_threshold
+    config_kwargs = {}
+    if args.recursive_method is not None:
+        # restricting to a bound-only method (e.g. qsqn) still executes
+        # all-free recursive queries: the optimizer falls back to a
+        # materialized semi-naive node (with a diagnostic) when no
+        # candidate method is applicable
+        config_kwargs["recursive_methods"] = (args.recursive_method,)
     kb = KnowledgeBase(
-        OptimizerConfig(strategy=args.strategy),
+        OptimizerConfig(
+            strategy=args.strategy, search=args.search, **config_kwargs
+        ),
         batch=not args.no_batch,
         parallel=not args.no_parallel,
         parallel_workers=args.parallel_workers,

@@ -337,8 +337,15 @@ def estimate_fixpoint(
     seed_cards: Mapping[str, tuple[float, int]],
     params: CostParams,
     level_indexed: frozenset[str] = frozenset(),
+    cost_cap: float = INFINITE_COST,
 ) -> tuple[Estimate, dict[str, float]]:
     """Price a fixpoint computation of *program* by iterated estimation.
+
+    ``cost_cap`` is a branch-and-bound cutoff: once the accumulated cost
+    reaches it, estimation stops early and returns the partial (>= cap)
+    estimate.  Because the per-round cost only ever accumulates, a capped
+    candidate can never strictly beat the incumbent that set the cap, so
+    the cutoff is choice-preserving for strict ``<`` comparisons.
 
     ``seed_cards`` maps seed predicate names to ``(cardinality, arity)``.
     Each round re-estimates every rule with the current derived-relation
@@ -425,6 +432,9 @@ def estimate_fixpoint(
         head = rule.head.predicate
         totals[head] = capped(head, totals[head] + estimate.card)
         deltas[head] = capped(head, deltas.get(head, 0.0) + estimate.card)
+    if total_cost >= cost_cap:
+        answer = max((totals[r.head.predicate] for r in program), default=0.0)
+        return Estimate(total_cost, answer), totals
 
     # Rounds 1..R: recursive rules driven by the previous round's deltas,
     # one pass per derived body predicate with *that* predicate priced at
@@ -454,6 +464,9 @@ def estimate_fixpoint(
                 round_cost += estimate.cost
                 new_deltas[head] += estimate.card
         total_cost += round_cost
+        if total_cost >= cost_cap:
+            answer = max((totals[r.head.predicate] for r in program), default=0.0)
+            return Estimate(total_cost, answer), totals
         converged = True
         for name in derived_names:
             # A predicate derives at most what its domain still allows;

@@ -416,6 +416,33 @@ class Interpreter:
                     out.add(tuple(full_row))
             return frozenset(out)
 
+        if node.method == "qsqn":
+            from ..datalog.rules import Program
+            from .qsqn import QSQNEngine
+
+            if node.adorned is None:
+                raise ExecutionError(
+                    f"qsqn fixpoint for {node.ref} carries no adorned clique"
+                )
+            adorned_predicates = node.adorned.adorned_predicates
+            support = Program(
+                [r for r in node.program if r.head.predicate not in adorned_predicates]
+            )
+            engine = QSQNEngine(
+                self.db,
+                builtins=self.builtins,
+                governor=self.governor,
+                profiler=self.profiler,
+                tracer=self.tracer,
+                metrics=self.metrics,
+                support_engine=self._fixpoint_engine(),
+            )
+            answers = engine.solve(node.adorned, support, keys)
+            return frozenset(
+                row for row in answers
+                if tuple(row[i] for i in bound_positions) in keys
+            )
+
         raise ExecutionError(f"unknown recursive method {node.method!r}")
 
 

@@ -48,18 +48,22 @@ SCHEMA = "repro.trace/1"
 SPAN_KINDS = frozenset({
     "span", "query", "phase", "node", "operator", "rule", "round",
     "fixpoint", "sld", "optimizer", "order", "cperm",
-    "partition", "recovery", "warning",
+    "partition", "recovery", "warning", "qsqn",
 })
 
 #: Span names with a fixed shape, and the kind each shape must carry:
 #: ``partition:<i>`` (per-worker spans), ``parallel_retry`` (round
-#: recovery), ``degrade:<from>-><to>`` (tier-degradation warnings) and
-#: ``spill-stream:<pred>`` (out-of-core streaming scans).
+#: recovery), ``degrade:<from>-><to>`` (tier-degradation warnings),
+#: ``spill-stream:<pred>`` (out-of-core streaming scans),
+#: ``qsqn:<adorned-pred>`` (query-subquery net evaluations) and
+#: ``optimize:enumerate:<pred>`` (c-permutation enumeration).
 _NAME_SHAPES: tuple[tuple[str, re.Pattern, str], ...] = (
     ("partition:", re.compile(r"^partition:\d+$"), "partition"),
     ("parallel_retry", re.compile(r"^parallel_retry$"), "recovery"),
     ("degrade:", re.compile(r"^degrade:[\w.$]+->[\w.$]+$"), "warning"),
     ("spill-stream:", re.compile(r"^spill-stream:[\w.$]+$"), "operator"),
+    ("qsqn:", re.compile(r"^qsqn:[\w.$]+$"), "qsqn"),
+    ("optimize:enumerate:", re.compile(r"^optimize:enumerate:[\w.$]+$"), "cperm"),
 )
 
 

@@ -3,7 +3,8 @@
 Exit status 0 when every event in every file conforms to its in-band
 schema — ``repro.trace/1`` span events (kind registry and the shaped
 names ``partition:<i>``, ``parallel_retry``, ``degrade:<from>-><to>``,
-``spill-stream:<pred>`` included) or ``repro.telemetry/1`` query
+``spill-stream:<pred>``, ``qsqn:<adorned-pred>`` and
+``optimize:enumerate:<pred>`` included) or ``repro.telemetry/1`` query
 records, which may be interleaved in one file — and 1 otherwise
 (violations are printed one per line).  CI runs this over the traces
 and telemetry produced from the ``examples/`` smoke queries.

@@ -17,7 +17,13 @@ Two enumeration strategies live here:
   nature, supplies the basis for assessing the soundness of the overall
   approach");
 * :func:`dp_order` — the [Sel 79] dynamic program over the 2^n subsets,
-  "reducing the n! permutations to 2^n choices" (Section 7.2).
+  "reducing the n! permutations to 2^n choices" (Section 7.2), with
+  branch-and-bound pruning against an incumbent found by a greedy
+  connected-first probe.  Admissible completion bounds come from the same
+  :class:`~repro.cost.estimates.BodyEstimator` statistics (see
+  :class:`_CompletionBounds`), so pruning never changes the chosen cost:
+  on every body the pruned search returns a plan cost-identical to
+  :func:`exhaustive_order`.
 
 Both delegate per-step costing to :class:`~repro.cost.estimates.BodyEstimator`,
 so the EL (method) decision stays local to a fixed permutation, as the
@@ -32,8 +38,8 @@ import itertools
 from dataclasses import dataclass
 from typing import Iterator, Sequence
 
-from ..cost.estimates import BodyEstimator
-from ..cost.model import Estimate, StepState
+from ..cost.estimates import BodyEstimator, _no_derived
+from ..cost.model import Estimate, INFINITE_COST, StepState
 from ..datalog.literals import Literal
 from ..datalog.safety import literal_is_ec
 from ..datalog.terms import Variable
@@ -55,7 +61,8 @@ class OrderResult:
 
     steps: tuple[CostedStep, ...]
     est: Estimate
-    evaluations: int = 0  #: permutations costed to find this result
+    evaluations: int = 0  #: partial/full orders costed to find this result
+    pruned: int = 0  #: partial orders discarded by branch-and-bound
 
     @property
     def order(self) -> tuple[int, ...]:
@@ -158,51 +165,235 @@ def exhaustive_order(
     return OrderResult(best.steps, best.est, evaluations)
 
 
+class _CompletionBounds:
+    """Admissible lower bounds on the cost of completing a partial order.
+
+    The remaining literals must each still be placed; under the estimator's
+    cost formulas every placement of a literal with input cardinality ``c``
+    charges at least ``c * w`` where ``w = min(n, probe_weight, 1)`` for a
+    base relation of ``n`` tuples (the cheapest of the nested/hash/index/
+    merge formulas), ``probe_weight`` for a negated goal, and ``1`` for a
+    comparison.  The input cardinality at any future placement is at least
+    the current cardinality times the product of every remaining literal's
+    *maximum possible shrink factor*: ``n / D**arity`` for a base literal
+    (``D`` is the largest distinct count over the body's columns, an upper
+    bound on every join divisor under the symmetric ``1/max(seen, new)``
+    rule) and the declared filter selectivities for comparisons/negation.
+
+    The bound is only claimed when every step is priced from catalog (or
+    overlay) statistics with static selectivities: a derived oracle,
+    learned feedback fanouts, or builtin hints can price a step below the
+    statistics floor, so their presence disables the bound (``lower()``
+    returns 0.0 and pruning falls back to the accumulated prefix cost,
+    which is always admissible — step deltas are non-negative).
+    """
+
+    def __init__(self, body: Sequence[Literal], estimator: BodyEstimator) -> None:
+        self.shrink: dict[int, float] = {}
+        self.weight: dict[int, float] = {}
+        self.enabled = (
+            getattr(estimator, "feedback", None) is None
+            and getattr(estimator, "derived_oracle", None) is _no_derived
+        )
+        builtins = getattr(estimator, "builtins", None)
+        if self.enabled and builtins is not None:
+            for literal in body:
+                if literal.is_comparison:
+                    continue
+                builtin = builtins.get(literal.predicate)
+                if builtin is not None and builtin.arity == literal.arity:
+                    self.enabled = False
+                    break
+        if not self.enabled:
+            return
+        params = estimator.params
+        domain = 1.0
+        positive = []
+        for index, literal in enumerate(body):
+            if literal.is_comparison or literal.negated:
+                continue
+            stats = estimator.stats_for(literal.predicate, literal.arity)
+            positive.append((index, literal, stats))
+            for position in range(literal.arity):
+                domain = max(domain, stats.distinct(position))
+        for index, literal, stats in positive:
+            floor = stats.cardinality / (domain ** literal.arity)
+            self.shrink[index] = min(1.0, floor)
+            self.weight[index] = min(stats.cardinality, params.probe_weight, 1.0)
+        for index, literal in enumerate(body):
+            if literal.negated:
+                self.shrink[index] = params.negation_selectivity
+                self.weight[index] = params.probe_weight
+            elif literal.is_comparison:
+                if literal.predicate == "=":
+                    self.shrink[index] = params.equality_filter_selectivity
+                elif literal.predicate == "!=":
+                    self.shrink[index] = params.disequality_selectivity
+                else:
+                    self.shrink[index] = params.inequality_selectivity
+                self.weight[index] = 1.0
+
+    def lower(self, state: StepState, remaining: Sequence[int]) -> float:
+        """A cost every completion of *state* must still pay (0 when the
+        bound cannot be claimed)."""
+        if not self.enabled or not remaining or state.is_infinite:
+            return 0.0
+        card_floor = state.card
+        total_weight = 0.0
+        for position in remaining:
+            card_floor *= self.shrink.get(position, 0.0)
+            total_weight += self.weight.get(position, 0.0)
+        return card_floor * total_weight
+
+
+def _connected(literal: Literal, bound: frozenset) -> bool:
+    """A literal extends the current frontier without a cross product when
+    it shares a bound variable or carries only ground arguments."""
+    return not literal.variables or bool(literal.variables & bound)
+
+
 def dp_order(
     body: Sequence[Literal],
     initially_bound: frozenset[Variable],
     estimator: BodyEstimator,
+    *,
+    prune: bool = True,
 ) -> OrderResult:
-    """Selinger dynamic programming over subsets of joinable literals.
+    """Selinger dynamic programming over subsets of joinable literals,
+    with branch-and-bound pruning against a greedy incumbent.
 
-    Exact for this cost model: the (cost, card, bound) state after a
+    Exact for this cost model: the (card, bound, ndv) state after a
     subset is order-independent — cardinality is a product of
     selectivities determined by the subset, and floating literals flush
-    deterministically from the bound-variable set.
+    deterministically from the bound-variable set — so keeping the
+    min-cost entry per subset is a lossless memo.  The table is keyed by
+    the literal subset; the bound-variable frontier is a function of the
+    subset and is recorded on the entry's state.  Each extension costs
+    one incremental ``literal_step`` (plus float flushes) instead of
+    re-costing the whole prefix, and cross products are *deferred*:
+    connected extensions are explored first and seed the greedy
+    incumbent, but disconnected ones are never eliminated (a cross
+    product with a tiny relation can be strictly optimal).
+
+    Branch-and-bound (``prune=True``) discards a partial order when its
+    accumulated cost plus an admissible completion bound
+    (:class:`_CompletionBounds`) already reaches the incumbent; since the
+    bound never exceeds the true completion cost, the returned plan is
+    cost-identical to :func:`exhaustive_order` on every body.
     """
     joinable, floating = split_joinable(body)
     if not joinable:
         return cost_order(body, (), floating, initially_bound, estimator)
 
-    @dataclass
-    class _Partial:
-        order: tuple[int, ...]
-        result: OrderResult
-
-    table: dict[frozenset[int], _Partial] = {}
     evaluations = 0
+    pruned = 0
+    bounds = _CompletionBounds(body, estimator)
 
-    for position in joinable:
-        result = cost_order(body, (position,), floating, initially_bound, estimator)
-        table[frozenset((position,))] = _Partial((position,), result)
-        evaluations += 1
-
-    for size in range(2, len(joinable) + 1):
-        next_table: dict[frozenset[int], _Partial] = {}
-        for subset, partial in table.items():
-            if len(subset) != size - 1:
-                continue
-            for position in joinable:
-                if position in subset:
+    def flush(
+        state: StepState, pending: tuple[int, ...], steps: list[CostedStep]
+    ) -> tuple[StepState, tuple[int, ...]]:
+        remaining = list(pending)
+        progressed = True
+        while progressed and remaining:
+            progressed = False
+            for position in list(remaining):
+                literal = body[position]
+                ok, __ = literal_is_ec(literal, state.bound)
+                if not ok:
                     continue
-                order = partial.order + (position,)
-                result = cost_order(body, order, floating, initially_bound, estimator)
-                evaluations += 1
-                key = subset | {position}
-                incumbent = next_table.get(key)
-                if incumbent is None or result.est.cost < incumbent.result.est.cost:
-                    next_table[key] = _Partial(order, result)
-        table.update(next_table)
+                before = state.cost
+                state, method = estimator.literal_step(state, literal)
+                steps.append(
+                    CostedStep(position, method, state.cost - before, state.card)
+                )
+                remaining.remove(position)
+                progressed = True
+        return state, tuple(remaining)
 
-    full = table[frozenset(joinable)]
-    return OrderResult(full.result.steps, full.result.est, evaluations)
+    def extend(
+        entry: tuple[StepState, tuple[int, ...], tuple[CostedStep, ...]],
+        position: int,
+    ) -> tuple[StepState, tuple[int, ...], tuple[CostedStep, ...]]:
+        nonlocal evaluations
+        evaluations += 1
+        state, pending, steps = entry
+        out_steps = list(steps)
+        before = state.cost
+        state, method = estimator.literal_step(state, body[position])
+        out_steps.append(CostedStep(position, method, state.cost - before, state.card))
+        state, pending = flush(state, pending, out_steps)
+        return state, pending, tuple(out_steps)
+
+    def finalize(
+        entry: tuple[StepState, tuple[int, ...], tuple[CostedStep, ...]],
+    ) -> OrderResult:
+        state, pending, steps = entry
+        out_steps = list(steps)
+        for position in pending:  # never became EC: unsafe order
+            before = state.cost
+            state, method = estimator.literal_step(state, body[position])
+            out_steps.append(
+                CostedStep(position, method, state.cost - before, state.card)
+            )
+        return OrderResult(tuple(out_steps), Estimate(state.cost, state.card))
+
+    root_steps: list[CostedStep] = []
+    root_state, root_pending = flush(
+        StepState(card=1.0, bound=frozenset(initially_bound), cost=0.0),
+        tuple(floating),
+        root_steps,
+    )
+    root = (root_state, root_pending, tuple(root_steps))
+
+    # Greedy incumbent: cheapest next step, connected extensions first —
+    # the cross-product-deferring probe whose full cost seeds the bound.
+    entry = root
+    remaining = list(joinable)
+    while remaining:
+        best_key = None
+        best_position = None
+        best_child = None
+        for position in remaining:
+            child = extend(entry, position)
+            key = (not _connected(body[position], entry[0].bound), child[0].cost)
+            if best_key is None or key < best_key:
+                best_key, best_position, best_child = key, position, child
+        remaining.remove(best_position)
+        entry = best_child
+    best = finalize(entry)
+    incumbent_cost = best.est.cost
+
+    # Subset DP, one layer per order length; entries carry the state
+    # (with its bound-variable frontier), unflushed floats, and steps.
+    table: dict[frozenset[int], tuple] = {frozenset(): root}
+    for __ in range(len(joinable)):
+        next_table: dict[frozenset[int], tuple] = {}
+        for subset, entry in table.items():
+            state = entry[0]
+            candidates = sorted(
+                (p for p in joinable if p not in subset),
+                key=lambda p: (not _connected(body[p], state.bound), p),
+            )
+            for position in candidates:
+                child = extend(entry, position)
+                child_state = child[0]
+                if prune and incumbent_cost < INFINITE_COST:
+                    left = [
+                        p for p in joinable if p not in subset and p != position
+                    ] + list(child[1])
+                    if child_state.cost + bounds.lower(child_state, left) >= incumbent_cost:
+                        pruned += 1
+                        continue
+                key = subset | {position}
+                current = next_table.get(key)
+                if current is not None and current[0].cost <= child_state.cost:
+                    continue
+                next_table[key] = child
+        table = next_table
+
+    full = table.get(frozenset(joinable))
+    if full is not None:
+        candidate = finalize(full)
+        if candidate.est.cost < best.est.cost:
+            best = candidate
+    return OrderResult(best.steps, best.est, evaluations, pruned)

@@ -29,6 +29,7 @@ than this extreme value, a proper message must inform the user".
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass, field, replace
 from typing import Mapping, Sequence
@@ -54,6 +55,11 @@ from .kbz import kbz_order
 #: Names of the available ordering strategies.
 STRATEGIES = ("exhaustive", "dp", "kbz", "annealing", "textual")
 
+#: Names of the available search modes: ``bb`` prunes with memoized
+#: branch-and-bound (cost-identical plans, far fewer costings), ``full``
+#: keeps the legacy un-pruned enumeration (the A/B baseline).
+SEARCH_MODES = ("bb", "full")
+
 
 @dataclass(frozen=True, slots=True)
 class OptimizerConfig:
@@ -62,13 +68,21 @@ class OptimizerConfig:
     per rule")."""
 
     strategy: str = "dp"
+    #: plan-search mode: ``bb`` (default) prunes join-order DP with
+    #: branch-and-bound, memoizes costed prefixes across c-permutations,
+    #: and caps fixpoint estimation at the incumbent cost; ``full`` is
+    #: the legacy exhaustive enumeration.  Both return cost-identical
+    #: plans — ``bb`` just finds them with far fewer costings.
+    search: str = "bb"
     #: switch to this strategy when a body has more joinable literals
     #: than ``large_body_threshold`` (None disables the switch)
     large_body_strategy: str | None = "kbz"
     large_body_threshold: int = 9
     params: CostParams = field(default_factory=CostParams)
     #: recursive methods the CC search may label a clique with
-    recursive_methods: tuple[str, ...] = ("seminaive", "magic", "supplementary", "counting")
+    recursive_methods: tuple[str, ...] = (
+        "seminaive", "magic", "supplementary", "counting", "qsqn"
+    )
     #: c-permutation budget before switching to annealing
     max_cpermutations: int = 512
     #: force every base join step to one method (used by baselines)
@@ -131,6 +145,8 @@ class Optimizer:
         self._ec_oracle = builtin_oracle(self.builtins)
         if self.config.strategy not in STRATEGIES:
             raise OptimizationError(f"unknown strategy {self.config.strategy!r}")
+        if self.config.search not in SEARCH_MODES:
+            raise OptimizationError(f"unknown search mode {self.config.search!r}")
         self.graph = DependencyGraph(program)
         self.graph.check_stratified()
         if self.config.deadline_fallback not in STRATEGIES:
@@ -154,6 +170,10 @@ class Optimizer:
             "order_evaluations": 0,
             "cpermutations": 0,
             "deadline_downgrades": 0,
+            # partial/full plan candidates actually costed vs avoided by
+            # branch-and-bound, dedup, prefix memos, and capped fixpoints
+            "plans_costed": 0,
+            "plans_pruned": 0,
         }
 
     # ------------------------------------------------------------------ API
@@ -352,7 +372,10 @@ class Optimizer:
             if strategy == "exhaustive":
                 result = exhaustive_order(body, initially_bound, estimator)
             elif strategy == "dp":
-                result = dp_order(body, initially_bound, estimator)
+                result = dp_order(
+                    body, initially_bound, estimator,
+                    prune=self.config.search == "bb",
+                )
             elif strategy == "kbz":
                 result = kbz_order(body, initially_bound, estimator)
             elif strategy == "annealing":
@@ -366,9 +389,25 @@ class Optimizer:
                 result = cost_order(body, tuple(joinable), floating, initially_bound, estimator)
             else:  # pragma: no cover - guarded in __init__
                 raise OptimizationError(f"unknown strategy {strategy!r}")
-            span.note(evaluations=result.evaluations, literals=len(body))
+            span.note(
+                evaluations=result.evaluations,
+                literals=len(body),
+                pruned=result.pruned,
+            )
         self.counters["order_evaluations"] += max(1, result.evaluations)
+        self._charge_search(max(1, result.evaluations), result.pruned)
         return result
+
+    def _charge_search(self, costed: int, pruned: int) -> None:
+        """Account plan candidates costed vs avoided (counters + metrics)."""
+        if costed:
+            self.counters["plans_costed"] += costed
+            if self._metrics is not None:
+                self._metrics.inc("optimizer_plans_costed_total", costed)
+        if pruned:
+            self.counters["plans_pruned"] += pruned
+            if self._metrics is not None:
+                self._metrics.inc("optimizer_plans_pruned_total", pruned)
 
     def _optimize_and(self, rule: Rule, head_binding: BindingPattern) -> JoinNode:
         """Step 1: order one rule body under the head's binding pattern."""
@@ -385,7 +424,10 @@ class Optimizer:
             for failure in report.failures:
                 self._diagnostics.append(f"rule '{rule}': {failure}")
         steps = self._build_steps(rule, result, initially_bound)
-        return JoinNode(rule=rule, binding=head_binding, steps=steps, est=result.est)
+        return JoinNode(
+            rule=rule, binding=head_binding, steps=steps, est=result.est,
+            pruned=result.pruned,
+        )
 
     def _build_steps(
         self,
@@ -578,47 +620,76 @@ class Optimizer:
         bound_methods = [
             m
             for m in self.config.recursive_methods
-            if m in ("magic", "supplementary", "counting")
+            if m in ("magic", "supplementary", "counting", "qsqn")
         ]
         if binding.bound_count > 0 and bound_methods:
             seen_adorned: set[str] = set()
             governor = self._governor
             candidates = 0
-            for cperm in self._cpermutations(clique, ref, binding):
-                if governor is not None:
-                    governor.soft_checkpoint("optimizer:cperm")
-                    # Always cost at least the greedy-SIP candidate so an
-                    # expired deadline still yields a bound-method plan.
-                    if candidates >= 1 and governor.deadline_exceeded():
-                        self.counters["deadline_downgrades"] += 1
-                        if self._metrics is not None:
-                            self._metrics.inc(
-                                "optimizer_degradations_total", kind="cperm"
+            pruned_duplicates = 0
+            bb = self.config.search == "bb"
+            # Structural sharing across c-permutations of the same clique:
+            # whole-body estimates are memoized by (literal sequence,
+            # frontier, derived-overlay cards), so two cperms that agree
+            # on a rule's prefix pay for it once; per-replica EC verdicts
+            # are memoized the same way.  Under search="full" the cache
+            # only *counts* body costings (no reuse) so plans_costed stays
+            # comparable across the two modes.
+            body_cache = _BodyEstimateCache(reuse=bb)
+            ec_memo: dict[tuple, bool] = {} if bb else None
+            with self._tracer.span(
+                f"optimize:enumerate:{ref.name}", kind="cperm"
+            ) as espan:
+                for cperm in self._cpermutations(clique, ref, binding):
+                    if governor is not None:
+                        governor.soft_checkpoint("optimizer:cperm")
+                        # Always cost at least the greedy-SIP candidate so an
+                        # expired deadline still yields a bound-method plan.
+                        if candidates >= 1 and governor.deadline_exceeded():
+                            self.counters["deadline_downgrades"] += 1
+                            if self._metrics is not None:
+                                self._metrics.inc(
+                                    "optimizer_degradations_total", kind="cperm"
+                                )
+                            self._diagnostics.append(
+                                f"optimizer deadline exceeded: c-permutation "
+                                f"search for {ref}{binding} truncated after "
+                                f"{candidates} candidates"
                             )
-                        self._diagnostics.append(
-                            f"optimizer deadline exceeded: c-permutation "
-                            f"search for {ref}{binding} truncated after "
-                            f"{candidates} candidates"
+                            break
+                    candidates += 1
+                    self.counters["cpermutations"] += 1
+                    adorned = adorn_clique(
+                        clique, ref, binding, cperm,
+                        derived_predicates=self.program.derived_predicates,
+                    )
+                    signature = str(adorned)
+                    if signature in seen_adorned:
+                        pruned_duplicates += 1
+                        if bb:
+                            self._charge_search(0, 1)
+                        continue
+                    seen_adorned.add(signature)
+                    with self._tracer.span(
+                        f"optimize:adorn:{ref.name}", kind="optimizer"
+                    ) as aspan:
+                        candidate = self._cost_adorned(
+                            adorned, support, bound_methods,
+                            cost_cap=best_est.cost if bb else INFINITE_COST,
+                            ec_memo=ec_memo,
+                            body_cache=body_cache,
                         )
-                        break
-                candidates += 1
-                self.counters["cpermutations"] += 1
-                adorned = adorn_clique(
-                    clique, ref, binding, cperm,
-                    derived_predicates=self.program.derived_predicates,
+                        aspan.note(safe=candidate is not None)
+                    if candidate is not None and candidate.est.cost < best_est.cost:
+                        best_node = candidate
+                        best_est = candidate.est
+                self._charge_search(body_cache.misses, body_cache.hits)
+                espan.note(
+                    candidates=candidates,
+                    distinct=len(seen_adorned),
+                    pruned_duplicates=pruned_duplicates,
+                    prefix_memo_hits=body_cache.hits,
                 )
-                signature = str(adorned)
-                if signature in seen_adorned:
-                    continue
-                seen_adorned.add(signature)
-                with self._tracer.span(
-                    f"optimize:adorn:{ref.name}", kind="optimizer"
-                ) as aspan:
-                    candidate = self._cost_adorned(adorned, support, bound_methods)
-                    aspan.note(safe=candidate is not None)
-                if candidate is not None and candidate.est.cost < best_est.cost:
-                    best_node = candidate
-                    best_est = candidate.est
 
         if best_node is None:
             self._diagnostics.append(
@@ -654,15 +725,35 @@ class Optimizer:
         adorned: AdornedClique,
         support: list[Rule],
         methods: Sequence[str],
+        cost_cap: float = INFINITE_COST,
+        ec_memo: dict | None = None,
+        body_cache: "_BodyEstimateCache | None" = None,
     ) -> FixpointNode | None:
-        """Price one adorned program under each applicable bound method."""
+        """Price one adorned program under each applicable bound method.
+
+        ``cost_cap`` carries the incumbent cost across c-permutations:
+        fixpoint estimation stops once it cannot beat the cap (the cap is
+        choice-preserving — see :func:`estimate_fixpoint`).  ``ec_memo``
+        shares EC verdicts for identical (rule, head adornment) replicas
+        across c-permutations; ``body_cache`` shares whole-body estimates
+        for shared order prefixes.
+        """
         params = self.config.params
 
         # Safety of the pipelined fixpoint: EC of every adorned body in
         # its permutation order, and a well-founded iteration order.
+        # Different c-permutations replicate many (rule, adornment) pairs
+        # verbatim, so the verdict is memoized on that signature.
         for adorned_rule in adorned.rules:
+            ec_key = (str(adorned_rule.rule), adorned_rule.head_adornment.code)
+            if ec_memo is not None and ec_key in ec_memo:
+                if not ec_memo[ec_key]:
+                    return None
+                continue
             bound0 = head_bound_vars(adorned_rule.rule.head, adorned_rule.head_adornment)
             report = ec_check(adorned_rule.rule.body, bound0, self._ec_oracle)
+            if ec_memo is not None:
+                ec_memo[ec_key] = report.ok
             if not report.ok:
                 self._diagnostics.extend(
                     f"adorned rule '{adorned_rule.rule}': {f}" for f in report.failures
@@ -678,15 +769,39 @@ class Optimizer:
         for literal, pattern in adorned.external_goals:
             self._optimize_ref(pred_ref(literal), pattern)
 
+        if body_cache is not None:
+            factory = lambda overlay: _CachingEstimator(  # noqa: E731
+                self._estimator(extra_stats=overlay), body_cache
+            )
+        else:
+            factory = lambda overlay: self._estimator(extra_stats=overlay)  # noqa: E731
+
+        has_aggregate = any(ar.rule.is_aggregate for ar in adorned.rules)
         best: FixpointNode | None = None
         for method in methods:
+            cap = min(cost_cap, best.est.cost if best is not None else INFINITE_COST)
             level_indexed: frozenset[str] = frozenset()
+            est_scale = 1.0
             if method == "magic":
                 rewritten = magic_rewrite(adorned)
                 seed_cards = {rewritten.seed_predicate: (1.0, rewritten.seed_arity)}
-            elif method == "supplementary":
+            elif method in ("supplementary", "qsqn"):
+                if method == "qsqn" and has_aggregate:
+                    continue  # QSQN evaluates tuple-at-a-time; no aggregate path
                 rewritten = supplementary_magic_rewrite(adorned)
                 seed_cards = {rewritten.seed_predicate: (1.0, rewritten.seed_arity)}
+                if method == "qsqn":
+                    # QSQN materializes the same supplement relations as the
+                    # supplementary-magic fixpoint, driven by queues instead
+                    # of rounds; its price is that estimate scaled by
+                    # params.qsqn_weight.  When the weight shrinks the
+                    # estimate, the cap must grow by the inverse so a capped
+                    # run can never be an underestimate of a winning plan.
+                    est_scale = max(params.qsqn_weight, 0.0)
+                    if est_scale <= 0.0:
+                        cap = INFINITE_COST
+                    elif est_scale < 1.0 and not math.isinf(cap):
+                        cap = cap / est_scale
             else:
                 if not counting_applicable(adorned):
                     continue
@@ -697,26 +812,56 @@ class Optimizer:
                 level_indexed = rewritten.level_predicates
             est, __ = estimate_fixpoint(
                 rewritten.program,
-                lambda overlay: self._estimator(extra_stats=overlay),
+                factory,
                 seed_cards=seed_cards,
                 params=params,
                 level_indexed=level_indexed,
+                cost_cap=cap if self.config.search == "bb" else INFINITE_COST,
             )
+            if body_cache is None:
+                # direct callers without a shared cache: one candidate costed
+                self._charge_search(1, 0)
+            if est_scale != 1.0:
+                est = Estimate(est.cost * est_scale, est.card)
             if est.is_infinite:
                 continue
-            node = FixpointNode(
-                ref=adorned.query_ref,
-                binding=adorned.query_adornment,
-                method=method,
-                program=rewritten.program.extend(support),
-                answer_predicate=rewritten.answer_predicate,
-                seed_predicate=rewritten.seed_predicate,
-                seed_arity=rewritten.seed_arity,
-                adorned=adorned,
-                est=est,
-                ndvs=derived_ndvs(est.card, adorned.query_ref.arity, params),
-                answer_any_level=getattr(rewritten, "answer_any_level", False),
-            )
+            if not math.isinf(cost_cap) and est.cost >= cost_cap:
+                # Capped (or merely dominated) candidate: the incumbent from
+                # an earlier c-permutation already beats it.
+                self._charge_search(0, 1)
+                continue
+            if method == "qsqn":
+                # The QSQN engine drives the *adorned* rules directly (it
+                # builds its own supplement stores); the rewritten program
+                # was only priced, not shipped.
+                node = FixpointNode(
+                    ref=adorned.query_ref,
+                    binding=adorned.query_adornment,
+                    method=method,
+                    program=Program(
+                        [ar.rule for ar in adorned.rules]
+                    ).extend(support),
+                    answer_predicate=adorned.query_predicate,
+                    seed_predicate=None,
+                    seed_arity=adorned.query_adornment.bound_count,
+                    adorned=adorned,
+                    est=est,
+                    ndvs=derived_ndvs(est.card, adorned.query_ref.arity, params),
+                )
+            else:
+                node = FixpointNode(
+                    ref=adorned.query_ref,
+                    binding=adorned.query_adornment,
+                    method=method,
+                    program=rewritten.program.extend(support),
+                    answer_predicate=rewritten.answer_predicate,
+                    seed_predicate=rewritten.seed_predicate,
+                    seed_arity=rewritten.seed_arity,
+                    adorned=adorned,
+                    est=est,
+                    ndvs=derived_ndvs(est.card, adorned.query_ref.arity, params),
+                    answer_any_level=getattr(rewritten, "answer_any_level", False),
+                )
             if best is None or node.est.cost < best.est.cost:
                 best = node
         return best
@@ -740,6 +885,74 @@ class Optimizer:
                 if stats is None or stats.acyclic is not True:
                     return False
         return True
+
+
+class _BodyEstimateCache:
+    """Whole-body estimate memo shared across c-permutations of a clique.
+
+    C-permutations of the same clique replicate most rule bodies verbatim
+    (only the permuted prefix differs), so their rewritten programs share
+    rule bodies — and :func:`estimate_fixpoint` re-prices each body once
+    per round.  The memo key is the literal sequence, the frontier
+    (initially bound variables + initial cardinality), and the derived
+    overlay cards the body can see; hits are "plans pruned" (costings
+    avoided), misses are "plans costed".  ``reuse=False`` degrades the
+    cache to a pure counter (every call is a miss) — the search="full"
+    baseline, where plans_costed then measures the legacy enumerator's
+    work in the same unit."""
+
+    __slots__ = ("entries", "hits", "misses", "reuse")
+
+    def __init__(self, reuse: bool = True) -> None:
+        self.entries: dict = {}
+        self.hits = 0
+        self.misses = 0
+        self.reuse = reuse
+
+
+class _CachingEstimator:
+    """Wrap a :class:`BodyEstimator`, memoizing ``body_estimate`` calls
+    into a shared :class:`_BodyEstimateCache` (see its docstring for the
+    key).  Estimation inside one ``optimize()`` call is deterministic —
+    derived-goal estimates are memoized per binding and feedback is a
+    static snapshot — so equal keys always reprice identically."""
+
+    def __init__(self, inner: BodyEstimator, cache: _BodyEstimateCache):
+        self._inner = inner
+        self._cache = cache
+        self.params = inner.params
+        self.stats = inner.stats
+
+    def stats_for(self, name: str, arity: int):
+        return self._inner.stats_for(name, arity)
+
+    def literal_step(self, state, literal, method=None):
+        return self._inner.literal_step(state, literal, method)
+
+    def body_estimate(self, body, initially_bound=frozenset(), initial_card=1.0):
+        if not self._cache.reuse:
+            self._cache.misses += 1
+            return self._inner.body_estimate(body, initially_bound, initial_card)
+        overlay = tuple(
+            sorted(
+                (name, stats.cardinality)
+                for name, stats in self._inner.extra_stats.items()
+            )
+        )
+        key = (
+            tuple(str(literal) for literal in body),
+            frozenset(str(v) for v in initially_bound),
+            initial_card,
+            overlay,
+        )
+        cached = self._cache.entries.get(key)
+        if cached is not None:
+            self._cache.hits += 1
+            return cached
+        self._cache.misses += 1
+        result = self._inner.body_estimate(body, initially_bound, initial_card)
+        self._cache.entries[key] = result
+        return result
 
 
 class _ForcedMethodEstimator:

@@ -34,7 +34,9 @@ from ..cost.model import Estimate
 #: Recursive methods a CC node can be labelled with (Section 7.3).
 #: "supplementary" is supplementary magic — same seeding/answer protocol
 #: as magic, different rewritten program.
-RECURSIVE_METHODS = ("seminaive", "naive", "magic", "supplementary", "counting")
+#: "qsqn" is Query-Subquery Nets — top-down, tuple/subquery queues over
+#: the adorned rules themselves (no rewrite is shipped).
+RECURSIVE_METHODS = ("seminaive", "naive", "magic", "supplementary", "counting", "qsqn")
 
 
 @dataclass(frozen=True, slots=True)
@@ -79,6 +81,8 @@ class JoinNode:
     binding: BindingPattern
     steps: tuple[JoinStep, ...]
     est: Estimate = Estimate(0.0, 0.0)
+    #: order candidates branch-and-bound discarded while picking this body
+    pruned: int = 0
 
     @property
     def head(self) -> Literal:

@@ -127,8 +127,12 @@ def _explain_into(
         for child in node.children:
             _explain_into(child, indent + 1, lines, node_stats, misses)
     elif isinstance(node, JoinNode):
+        # ``~pruned=N``: branch-and-bound discarded N order candidates
+        # while picking this body (getattr keeps old plans printable).
+        pruned_count = getattr(node, "pruned", 0)
+        pruned = f" ~pruned={pruned_count}" if pruned_count else ""
         lines.append(
-            f"{pad}AND {node.rule.head} / {node.binding} {_annotation(node.est)}"
+            f"{pad}AND {node.rule.head} / {node.binding}{pruned} {_annotation(node.est)}"
             f"{_measured(node, f'AND {node.rule.head}', node_stats, misses)}"
         )
         for step in node.steps:

@@ -1,0 +1,154 @@
+"""Plan-quality properties of the pruned search (PR 10 acceptance).
+
+Branch-and-bound must be invisible in the *result*: on every body where
+the exhaustive search is feasible, the DP/B&B enumerator returns a plan
+of identical cost, and the pruned c-permutation search picks the same
+recursive plan as the un-pruned one — only the amount of work differs.
+"""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import KnowledgeBase, OptimizerConfig
+from repro.cost import BodyEstimator
+from repro.optimizer import dp_order, exhaustive_order
+from repro.workloads import generate_conjunctive, same_generation_instance
+
+SG = """
+sg(X, Y) <- up(X, X1), sg(Y1, X1), dn(Y1, Y).
+sg(X, Y) <- flat(X, Y).
+"""
+
+ANC = """
+anc(X, Y) <- par(X, Y).
+anc(X, Y) <- par(X, Z), anc(Z, Y).
+"""
+
+
+def bound_subset(body, seed):
+    """A deterministic pseudo-random subset of the body's variables —
+    the 'binding pattern' axis of the property."""
+    rng = random.Random(seed)
+    variables = sorted({v for l in body for v in l.variables}, key=lambda v: v.name)
+    return frozenset(v for v in variables if rng.random() < 0.3)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(2, 6),
+    st.integers(0, 10_000),
+    st.sampled_from(["chain", "star", "cycle", "random"]),
+)
+def test_bb_cost_equals_exhaustive(n, seed, shape):
+    """DP + branch-and-bound is cost-identical to exhaustive search."""
+    w = generate_conjunctive(n, shape, seed=seed)
+    est = BodyEstimator(w.stats)
+    bound = bound_subset(w.body, seed)
+    pruned = dp_order(w.body, bound, est, prune=True)
+    exact = exhaustive_order(w.body, bound, est)
+    assert pruned.est.cost == pytest.approx(exact.est.cost)
+
+
+@pytest.mark.parametrize(
+    "n,seeds",
+    [(7, (0, 1, 2, 3)), (8, (0, 1))],
+)
+def test_bb_cost_equals_exhaustive_wide(n, seeds):
+    """The same identity on wide bodies (n <= 8), where exhaustive is at
+    the edge of feasibility — and B&B does far less work getting there."""
+    for seed in seeds:
+        w = generate_conjunctive(n, ("random", "chain")[seed % 2], seed=seed)
+        est = BodyEstimator(w.stats)
+        bound = bound_subset(w.body, seed)
+        pruned = dp_order(w.body, bound, est, prune=True)
+        exact = exhaustive_order(w.body, bound, est)
+        assert pruned.est.cost == pytest.approx(exact.est.cost)
+        assert exact.evaluations == math.factorial(n)
+        assert pruned.evaluations < exact.evaluations
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10_000), st.sampled_from(["chain", "star", "random"]))
+def test_bb_prune_flag_preserves_cost(seed, shape):
+    """prune=True vs prune=False: identical best cost, fewer costings."""
+    w = generate_conjunctive(6, shape, seed=seed)
+    est = BodyEstimator(w.stats)
+    bound = bound_subset(w.body, seed)
+    on = dp_order(w.body, bound, est, prune=True)
+    off = dp_order(w.body, bound, est, prune=False)
+    assert on.est.cost == pytest.approx(off.est.cost)
+    assert on.evaluations <= off.evaluations
+
+
+def _sg_kb(search):
+    kb = KnowledgeBase(
+        OptimizerConfig(strategy="dp", seed=0, search=search), feedback=False
+    )
+    same_generation_instance(kb.db, fanout=2, depth=3)
+    kb.rules(SG)
+    return kb
+
+
+def _anc_kb(search):
+    kb = KnowledgeBase(
+        OptimizerConfig(strategy="dp", seed=0, search=search), feedback=False
+    )
+    kb.facts("par", [(f"n{i}", f"n{i + 1}") for i in range(20)])
+    kb.rules(ANC)
+    return kb
+
+
+@pytest.mark.parametrize("query", ["sg($X, Y)?", "sg(X, $Y)?", "sg($X, $Y)?"])
+def test_bb_cperm_choice_matches_full_sg(query):
+    """Pruned c-permutation search picks the same plan as the un-pruned."""
+    bb = _sg_kb("bb").compile(query)
+    full = _sg_kb("full").compile(query)
+    assert bb.plan.est.cost == pytest.approx(full.plan.est.cost)
+    assert bb.plan.children[0].steps[0].child.method == (
+        full.plan.children[0].steps[0].child.method
+    )
+
+
+@pytest.mark.parametrize("query", ["anc($X, Y)?", "anc(X, $Y)?"])
+def test_bb_cperm_choice_matches_full_anc(query):
+    bb = _anc_kb("bb").compile(query)
+    full = _anc_kb("full").compile(query)
+    assert bb.plan.est.cost == pytest.approx(full.plan.est.cost)
+
+
+def test_bb_does_less_work_and_counts_it():
+    """plans_costed drops under bb; the saved work lands in plans_pruned."""
+    bb_kb, full_kb = _sg_kb("bb"), _sg_kb("full")
+    bb_kb.compile("sg($X, Y)?")
+    full_kb.compile("sg($X, Y)?")
+    bb_counters = bb_kb.optimizer.counters
+    full_counters = full_kb.optimizer.counters
+    assert bb_counters["plans_costed"] < full_counters["plans_costed"]
+    assert bb_counters["plans_pruned"] > 0
+    # the un-pruned baseline never prunes order candidates
+    assert full_counters["plans_pruned"] == 0
+
+
+def test_unknown_search_mode_rejected():
+    from repro.errors import OptimizationError
+
+    kb = KnowledgeBase(OptimizerConfig(search="greedy"))
+    kb.rules(ANC)
+    with pytest.raises(OptimizationError):
+        kb.compile("anc($X, Y)?")
+
+
+def test_join_node_records_pruning():
+    """EXPLAIN's ~pruned diagnostic source: JoinNode.pruned is populated."""
+    kb = KnowledgeBase(OptimizerConfig(strategy="dp", seed=0), feedback=False)
+    w = generate_conjunctive(6, "random", seed=7, prefix="w")
+    for literal in w.body:
+        kb.facts(literal.predicate, [(1, 2)])
+    head_vars = sorted({v.name for l in w.body for v in l.variables})[:1]
+    rule = f"wide({head_vars[0]}) <- " + ", ".join(str(l) for l in w.body) + "."
+    kb.rules(rule)
+    plan = kb.compile("wide(X)?").plan
+    assert plan.children[0].pruned >= 0  # field exists and is populated
